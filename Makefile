@@ -1,0 +1,44 @@
+# Convenience targets for the reproduction. Everything is plain `go` —
+# these just bundle the invocations the docs mention.
+
+.PHONY: all build test soak bench repro examples fmt vet
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	go test ./...
+
+# Short mode skips the 5-node/300-step soak runs.
+short:
+	go test -short ./...
+
+soak:
+	go test -run TestSoak ./internal/conformance/
+
+bench:
+	go test -bench=. -benchmem .
+
+# Pipe benchmarks through the markdown renderer.
+bench-md:
+	go test -bench=. -benchmem . | go run ./cmd/bench-report
+
+# One-command reproduction of every paper experiment.
+repro:
+	go run ./cmd/paper-report
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/collab-editor
+	go run ./examples/shopping-cart
+	go run ./examples/client-verify
+	go run ./examples/todo-board
+	go run ./examples/offline-sync

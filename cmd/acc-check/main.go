@@ -1,0 +1,199 @@
+// Command acc-check generates randomized executions of a CRDT algorithm and
+// decides its correctness condition on every trace: ACC (Defs 2–3) for
+// UCR algorithms — via the ↣-derived witness or the complete bounded search —
+// and XACC (Def 9) for the X-wins sets.
+//
+// Usage:
+//
+//	acc-check -algo rga -seeds 20 -steps 30 [-mode witness|exhaustive]
+//	acc-check -algo rga -save failing.json     # save the first failing schedule
+//	acc-check -replay failing.json             # re-check a saved schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crdts/registry"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "rga", "algorithm name, or 'all'")
+		nodes  = flag.Int("nodes", 3, "cluster size")
+		steps  = flag.Int("steps", 30, "scheduler steps per run")
+		seeds  = flag.Int("seeds", 20, "number of randomized runs")
+		mode   = flag.String("mode", "witness", "witness (scales) or exhaustive (complete, small traces)")
+		save   = flag.String("save", "", "write the first failing schedule (or, if none fails, the first schedule) to this file")
+		replay = flag.String("replay", "", "re-check a schedule saved with -save instead of generating traces")
+	)
+	flag.Parse()
+	if *replay != "" {
+		os.Exit(replaySchedule(*replay, *mode))
+	}
+	savePath = *save
+	algs := registry.All()
+	if *algo != "all" {
+		alg, ok := registry.ByName(*algo)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "acc-check: unknown algorithm %q\n", *algo)
+			os.Exit(2)
+		}
+		algs = []registry.Algorithm{alg}
+	}
+	failures := 0
+	for _, alg := range algs {
+		failures += check(alg, *nodes, *steps, *seeds, *mode)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func check(alg registry.Algorithm, nodes, steps, seeds int, mode string) int {
+	cond := "ACC"
+	if alg.IsX() {
+		cond = "XACC"
+	}
+	if mode == "exhaustive" {
+		nodes = 2
+		if steps > 8 {
+			steps = 8 // complete decisions need bounded traces
+		}
+	}
+	fmt.Printf("%-14s %-5s mode=%-10s nodes=%d steps=%d: ", alg.Name, cond, modeName(alg, mode), nodes, steps)
+	failures := 0
+	checked := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		w := sim.Workload{
+			Object: alg.New(),
+			Abs:    alg.Abs,
+			Gen:    sim.GenFunc(alg.GenOp),
+			Nodes:  nodes,
+			Steps:  steps,
+			Causal: alg.NeedsCausal,
+		}
+		tr := w.Run(seed).Trace()
+		if seed == 1 {
+			saveTrace(alg, tr, nodes)
+		}
+		p := core.Problem{Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs}
+		var res core.Result
+		var err error
+		switch {
+		case alg.IsX() && mode == "exhaustive":
+			res, err = core.CheckXACC(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+		case alg.IsX():
+			res, err = core.CheckXACCWitness(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+		case mode == "exhaustive":
+			res, err = core.CheckACC(tr, p)
+		default:
+			res, err = core.CheckACCWitness(tr, p, alg.TSOrder)
+		}
+		if err != nil {
+			continue // trace exceeded the decidable bound; skip
+		}
+		checked++
+		if !res.OK {
+			failures++
+			fmt.Printf("\n  seed %d: %s FAILS: %s\n", seed, cond, res.Reason)
+		}
+		if cvErr := core.CheckConvergenceFrom(tr, alg.New().Init(), alg.Abs); cvErr != nil {
+			failures++
+			fmt.Printf("\n  seed %d: SEC FAILS: %v\n", seed, cvErr)
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("%d/%d traces satisfy %s and SEC\n", checked, seeds, cond)
+	}
+	return failures
+}
+
+func modeName(alg registry.Algorithm, mode string) string {
+	return strings.ToLower(mode)
+}
+
+// savePath, when non-empty, receives the first failing schedule (or the
+// first schedule overall if everything passes).
+var savePath string
+
+// saveTrace writes the schedule driving tr to savePath once.
+func saveTrace(alg registry.Algorithm, tr trace.Trace, nodes int) {
+	if savePath == "" {
+		return
+	}
+	s, err := sched.FromTrace(tr, nodes, alg.NeedsCausal, alg.Name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: extracting schedule: %v\n", err)
+		return
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(savePath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: %v\n", err)
+		return
+	}
+	fmt.Printf("schedule saved to %s\n", savePath)
+	savePath = ""
+}
+
+// replaySchedule re-checks a saved schedule and returns the exit code.
+func replaySchedule(path, mode string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: %v\n", err)
+		return 2
+	}
+	s, err := sched.Unmarshal(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: %v\n", err)
+		return 2
+	}
+	alg, ok := registry.ByName(s.Algorithm)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acc-check: schedule names unknown algorithm %q\n", s.Algorithm)
+		return 2
+	}
+	c, err := s.Replay(alg.New())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: replay: %v\n", err)
+		return 2
+	}
+	tr := c.Trace()
+	fmt.Printf("replayed %d events of %s:\n", len(tr), alg.Name)
+	p := core.Problem{Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs}
+	var res core.Result
+	switch {
+	case alg.IsX() && mode == "exhaustive":
+		res, err = core.CheckXACC(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+	case alg.IsX():
+		res, err = core.CheckXACCWitness(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+	case mode == "exhaustive":
+		res, err = core.CheckACC(tr, p)
+	default:
+		res, err = core.CheckACCWitness(tr, p, alg.TSOrder)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acc-check: %v\n", err)
+		return 2
+	}
+	if !res.OK {
+		fmt.Printf("  consistency FAILS: %s\n", res.Reason)
+		return 1
+	}
+	if err := core.CheckConvergenceFrom(tr, alg.New().Init(), alg.Abs); err != nil {
+		fmt.Printf("  SEC FAILS: %v\n", err)
+		return 1
+	}
+	fmt.Println("  consistency and SEC hold")
+	return 0
+}

@@ -1,0 +1,26 @@
+// Command bench-report turns `go test -bench` output into the markdown
+// tables EXPERIMENTS.md records, grouping sub-benchmarks under their parent:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/bench-report
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/benchreport"
+)
+
+func main() {
+	rows, err := benchreport.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-report: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	fmt.Print(benchreport.Markdown(rows))
+}

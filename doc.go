@@ -1,0 +1,24 @@
+// Package repro is an executable reproduction of "Abstraction for
+// Conflict-Free Replicated Data Types" (Liang & Feng, PLDI 2021).
+//
+// The repository implements, from scratch and on the standard library only:
+//
+//   - the nine CRDT algorithms the paper verifies (internal/crdts/...),
+//   - their atomic specifications (Γ, ⊲⊳, ◀, ▷) (internal/spec),
+//   - a replicated-cluster simulator with the paper's network assumptions
+//     (internal/sim),
+//   - decision procedures for the paper's correctness conditions ACC, XACC
+//     and trace convergence (internal/core),
+//   - the abstract operational semantics of Sec 6 and a contextual
+//     refinement checker for the Abstraction Theorem (internal/absmachine,
+//     internal/refine),
+//   - the client programming language of Fig 6 (internal/lang),
+//   - the rely-guarantee client logic of Sec 7 with a proof-outline checker
+//     (internal/logic), and
+//   - the CRDT-TS proof method of Sec 8 as executable obligations
+//     (internal/proofmethod).
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the reproduction results.
+// The benchmarks in bench_test.go regenerate every figure-level experiment.
+package repro

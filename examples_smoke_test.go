@@ -1,0 +1,38 @@
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary, guarding the
+// walkthroughs against rot. Each example self-checks (log.Fatal on any
+// violated claim), so a zero exit status means its narrative still holds.
+// Skipped with -short (each run includes a compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped with -short")
+	}
+	examples := map[string]string{
+		"quickstart":    "ACC certified",
+		"collab-editor": "apqced",
+		"shopping-cart": "XACC certified",
+		"client-verify": "Abstraction Theorem",
+		"todo-board":    "composite ACC certified",
+		"offline-sync":  "ACC certified",
+	}
+	for name, marker := range examples {
+		name, marker := name, marker
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Fatalf("output lacks the expected marker %q:\n%s", marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Package benchreport parses `go test -bench` output and renders it as the
+// markdown tables EXPERIMENTS.md records.
+package benchreport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Row is one parsed benchmark result.
+type Row struct {
+	// Group is the top-level benchmark name (without the Benchmark prefix);
+	// Case is the sub-benchmark path, empty for flat benchmarks.
+	Group string
+	Case  string
+	// Iterations is the b.N the result was measured over.
+	Iterations int64
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+	// BytesPerOp and AllocsPerOp are -benchmem extras (0 when absent).
+	BytesPerOp  int64
+	AllocsPerOp int64
+}
+
+// Parse reads benchmark lines from r. Non-benchmark lines are ignored.
+func Parse(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[2] == "" {
+			continue
+		}
+		name := fields[0]
+		// Strip the parallelism suffix (-8 etc.) if present.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		group, cse := name, ""
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			group, cse = name[:i], name[i+1:]
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		var row Row
+		row.Group, row.Case, row.Iterations = group, cse, iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				row.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				row.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				row.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if row.NsPerOp == 0 {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}
+
+// Duration renders nanoseconds human-readably (ns, µs, ms, s).
+func Duration(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.0f ns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1f µs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	}
+}
+
+// Markdown renders the rows as one markdown table per group, preserving the
+// input order.
+func Markdown(rows []Row) string {
+	var b strings.Builder
+	var group string
+	withMem := false
+	for _, r := range rows {
+		if r.BytesPerOp > 0 || r.AllocsPerOp > 0 {
+			withMem = true
+			break
+		}
+	}
+	for _, r := range rows {
+		if r.Group != group {
+			group = r.Group
+			fmt.Fprintf(&b, "\n### %s\n\n", group)
+			if withMem {
+				b.WriteString("| case | time/op | B/op | allocs/op |\n|---|---|---|---|\n")
+			} else {
+				b.WriteString("| case | time/op |\n|---|---|\n")
+			}
+		}
+		cse := r.Case
+		if cse == "" {
+			cse = "—"
+		}
+		if withMem {
+			fmt.Fprintf(&b, "| %s | %s | %d | %d |\n", cse, Duration(r.NsPerOp), r.BytesPerOp, r.AllocsPerOp)
+		} else {
+			fmt.Fprintf(&b, "| %s | %s |\n", cse, Duration(r.NsPerOp))
+		}
+	}
+	return strings.TrimPrefix(b.String(), "\n")
+}

@@ -1,0 +1,83 @@
+package benchreport
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig2_RGAOperations     	      10	    129383 ns/op	  103093 B/op	     821 allocs/op
+BenchmarkFig3_ACCDecision/exhaustive-8         	      10	    124075 ns/op	   71656 B/op	     928 allocs/op
+BenchmarkFig3_ACCDecision/witness-8            	      10	     50455 ns/op	   32392 B/op	     418 allocs/op
+BenchmarkACCWitness_TraceLength/steps=20/events=20   	      10	    160004 ns/op
+PASS
+ok  	repro	1.407s
+`
+
+func TestParse(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0].Group != "Fig2_RGAOperations" || rows[0].Case != "" {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[0].BytesPerOp != 103093 || rows[0].AllocsPerOp != 821 || rows[0].Iterations != 10 {
+		t.Errorf("row0 mem = %+v", rows[0])
+	}
+	if rows[1].Group != "Fig3_ACCDecision" || rows[1].Case != "exhaustive" {
+		t.Errorf("row1 = %+v", rows[1])
+	}
+	if rows[3].Case != "steps=20/events=20" {
+		t.Errorf("row3 = %+v", rows[3])
+	}
+	if rows[3].NsPerOp != 160004 {
+		t.Errorf("row3 ns = %v", rows[3].NsPerOp)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	rows, _ := Parse(strings.NewReader(sample))
+	md := Markdown(rows)
+	for _, want := range []string{
+		"### Fig2_RGAOperations",
+		"### Fig3_ACCDecision",
+		"| exhaustive | 124.1 µs | 71656 | 928 |",
+		"| witness | 50.5 µs | 32392 | 418 |",
+		"| — | 129.4 µs | 103093 | 821 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{500, "500 ns"},
+		{1500, "1.5 µs"},
+		{2.5e6, "2.50 ms"},
+		{3.2e9, "3.20 s"},
+	}
+	for _, c := range cases {
+		if got := Duration(c.ns); got != c.want {
+			t.Errorf("Duration(%v) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rows, err := Parse(strings.NewReader("hello\nBenchmarkBad abc ns/op\nBenchmarkX 5\n"))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+}

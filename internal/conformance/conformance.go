@@ -1,0 +1,211 @@
+// Package conformance bundles the framework's checkers into one battery for
+// validating a CRDT algorithm end to end — the workflow of Sec 8's "Using
+// the verification framework", executable in one call:
+//
+//  1. specification well-formedness: ⊲⊳ symmetric and nonComm(Γ, ⊲⊳) (Def 1),
+//     plus ◀/▷ well-formedness for X-wins algorithms;
+//  2. the CRDT-TS proof obligations (UCR algorithms);
+//  3. the trace conditions on randomized executions: ACC via the ↣ witness
+//     (or XACC via the ◀/▷ witness) and convergence (Lemma 5's SEC);
+//  4. complete bounded decisions on short traces (exhaustive ACC/XACC);
+//  5. contextual refinement on a client program (the Abstraction Theorem's
+//     client-facing guarantee), when a client is supplied.
+//
+// A nil error from Run means the algorithm passed every applicable check.
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crdts/registry"
+	"repro/internal/lang"
+	"repro/internal/proofmethod"
+	"repro/internal/refine"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Config tunes the battery.
+type Config struct {
+	// Seeds is the number of randomized traces per trace-level check
+	// (default 8).
+	Seeds int
+	// Steps is the scheduler steps for long traces (default 40).
+	Steps int
+	// Nodes is the cluster size for long traces (default 3).
+	Nodes int
+	// Client, when non-empty, is a client program source checked for
+	// contextual refinement against the abstract machine.
+	Client string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		c.Seeds = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 40
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	return c
+}
+
+// CheckResult is one battery item's outcome.
+type CheckResult struct {
+	Name string
+	Err  error
+	// Skipped explains why a check did not apply (e.g. CRDT-TS for X-wins
+	// algorithms).
+	Skipped string
+}
+
+// Report is the battery outcome for one algorithm.
+type Report struct {
+	Algorithm string
+	Checks    []CheckResult
+}
+
+// Err returns the first failed check, or nil.
+func (r Report) Err() error {
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			return fmt.Errorf("%s: %s: %w", r.Algorithm, c.Name, c.Err)
+		}
+	}
+	return nil
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.Algorithm)
+	for _, c := range r.Checks {
+		status := "ok"
+		switch {
+		case c.Err != nil:
+			status = "FAIL: " + c.Err.Error()
+		case c.Skipped != "":
+			status = "skipped: " + c.Skipped
+		}
+		fmt.Fprintf(&b, "  %-28s %s\n", c.Name, status)
+	}
+	return b.String()
+}
+
+// Run executes the battery for one algorithm bundle.
+func Run(alg registry.Algorithm, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{Algorithm: alg.Name}
+	add := func(name string, err error) {
+		rep.Checks = append(rep.Checks, CheckResult{Name: name, Err: err})
+	}
+	skip := func(name, why string) {
+		rep.Checks = append(rep.Checks, CheckResult{Name: name, Skipped: why})
+	}
+
+	// 1. Specification well-formedness.
+	u := alg.Universe()
+	add("⊲⊳ symmetric", spec.CheckSymmetric(alg.Spec, u.Ops))
+	add("nonComm (Def 1)", spec.CheckNonComm(alg.Spec, u.Ops, u.States))
+	if alg.IsX() {
+		add("◀/▷ well-formed (Sec 9)", spec.CheckXWellFormed(alg.XSpec, u.Ops, u.States))
+	} else {
+		skip("◀/▷ well-formed (Sec 9)", "UCR algorithm: ◀ = ▷ = ∅")
+	}
+
+	// 2. CRDT-TS obligations.
+	if alg.IsX() {
+		skip("CRDT-TS obligations (Sec 8)", "applies to UCR algorithms; X-wins verified against XACC")
+	} else {
+		pm := proofmethod.Check(alg, proofmethod.Config{Seeds: cfg.Seeds, Steps: cfg.Steps, Nodes: cfg.Nodes})
+		add("CRDT-TS obligations (Sec 8)", pm.Err())
+	}
+
+	// 3. Trace-level witness + SEC on long randomized executions.
+	add("witness consistency + SEC", traceChecks(alg, cfg, false))
+
+	// 4. Complete bounded decisions.
+	add("exhaustive bounded decision", traceChecks(alg, cfg, true))
+
+	// 5. Client refinement.
+	if cfg.Client == "" {
+		skip("contextual refinement (Thm 7)", "no client program supplied")
+	} else {
+		add("contextual refinement (Thm 7)", clientRefinement(alg, cfg.Client))
+	}
+	return rep
+}
+
+// traceChecks runs the per-trace conditions; exhaustive switches to the
+// complete deciders on short two-node traces.
+func traceChecks(alg registry.Algorithm, cfg Config, exhaustive bool) error {
+	nodes, steps, seeds := cfg.Nodes, cfg.Steps, cfg.Seeds
+	if exhaustive {
+		nodes, steps = 2, 8
+		if seeds > 4 {
+			seeds = 4
+		}
+	}
+	p := core.Problem{Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		w := sim.Workload{
+			Object: alg.New(), Abs: alg.Abs, Gen: sim.GenFunc(alg.GenOp),
+			Nodes: nodes, Steps: steps, Causal: alg.NeedsCausal,
+		}
+		tr := w.Run(seed).Trace()
+		var res core.Result
+		var err error
+		switch {
+		case alg.IsX() && exhaustive:
+			res, err = core.CheckXACC(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+		case alg.IsX():
+			res, err = core.CheckXACCWitness(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+		case exhaustive:
+			res, err = core.CheckACC(tr, p)
+		default:
+			res, err = core.CheckACCWitness(tr, p, alg.TSOrder)
+		}
+		if err != nil {
+			if exhaustive {
+				continue // trace exceeded the decidable bound
+			}
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if !res.OK {
+			return fmt.Errorf("seed %d: %s", seed, res.Reason)
+		}
+		if err := core.CheckConvergenceFrom(tr, alg.New().Init(), alg.Abs); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}
+
+func clientRefinement(alg registry.Algorithm, client string) error {
+	prog, err := lang.Parse(client)
+	if err != nil {
+		return err
+	}
+	res, err := refine.Check(alg, prog, refine.Explorer{})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("refinement violated: %d concrete behaviours uncovered (first: %s)",
+			len(res.Extra), res.Extra[0])
+	}
+	return nil
+}
+
+// RunAll runs the battery for every registered algorithm.
+func RunAll(cfg Config) []Report {
+	var out []Report
+	for _, alg := range registry.All() {
+		out = append(out, Run(alg, cfg))
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crdts/registry"
+	"repro/internal/sim"
+)
+
+// TestSoak runs long, larger-cluster randomized executions of every
+// algorithm through the witness consistency checks and convergence — a
+// robustness soak that is skipped under -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	for _, alg := range registry.All() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			p := core.Problem{Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs}
+			for seed := int64(1); seed <= 3; seed++ {
+				w := sim.Workload{
+					Object: alg.New(), Abs: alg.Abs, Gen: sim.GenFunc(alg.GenOp),
+					Nodes: 5, Steps: 300, Causal: alg.NeedsCausal, FinalDrain: true,
+				}
+				c := w.Run(seed)
+				tr := c.Trace()
+				if err := tr.CheckWellFormed(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if _, ok := c.Converged(alg.Abs); !ok {
+					t.Fatalf("seed %d: diverged after full drain", seed)
+				}
+				if err := core.CheckConvergenceFrom(tr, alg.New().Init(), alg.Abs); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				var res core.Result
+				var err error
+				if alg.IsX() {
+					res, err = core.CheckXACCWitness(tr, core.XProblem{Problem: p, XSpec: alg.XSpec})
+				} else {
+					res, err = core.CheckACCWitness(tr, p, alg.TSOrder)
+				}
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.OK {
+					t.Fatalf("seed %d: consistency failed on a %d-event trace: %s", seed, len(tr), res.Reason)
+				}
+			}
+		})
+	}
+}

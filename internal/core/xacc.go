@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// ErrNotCausal is returned by CheckXACC when the trace violates causal
+// delivery, which XACC assumes (Sec 9).
+var ErrNotCausal = fmt.Errorf("core: trace violates causal delivery, which XACC presumes")
+
+// XProblem extends Problem with the X-wins specification (Γ, ⊲⊳, ◀, ▷).
+type XProblem struct {
+	Problem
+	XSpec spec.XSpec
+}
+
+// CheckXACC decides XACT(E, S, (Γ, ⊲⊳, ◀, ▷)) (Def 9) for one causal trace:
+// it searches for per-node arbitration orders that extend visibility, respect
+// PresvCancel, satisfy ExecRelated, and are pairwise related by the relaxed
+// coherence RCoh of Fig 13.
+func CheckXACC(tr trace.Trace, p XProblem) (Result, error) {
+	if err := tr.CheckWellFormed(); err != nil {
+		return Result{}, err
+	}
+	if !tr.CausalDelivery() {
+		return Result{}, ErrNotCausal
+	}
+	p.Spec = p.XSpec
+	hb := tr.HappensBefore()
+	nodes := tr.Nodes()
+	ops := originOps(tr)
+	cands := make([][]Order, len(nodes))
+	ncp := make([]map[[2]model.MsgID]bool, len(nodes))
+	for i, t := range nodes {
+		c, err := xCandidateOrders(tr, t, p, hb)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(c) == 0 {
+			return Result{Reason: fmt.Sprintf("node %s: no arbitration order extends visibility, respects PresvCancel and satisfies ExecRelated", t)}, nil
+		}
+		cands[i] = c
+		ncp[i] = ncVisPairs(tr, t, p.XSpec, ops, hb)
+	}
+	chosen := make([]Order, len(nodes))
+	var pick func(i int) bool
+	pick = func(i int) bool {
+		if i == len(nodes) {
+			return true
+		}
+		for _, c := range cands[i] {
+			ok := true
+			for j := 0; j < i; j++ {
+				if !rcoh(p.XSpec, ops, hb, chosen[j], c, ncp[j], ncp[i]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen[i] = c
+				if pick(i + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if pick(0) {
+		out := map[model.NodeID]Order{}
+		for i, t := range nodes {
+			out[t] = chosen[i]
+		}
+		return Result{OK: true, Orders: out}, nil
+	}
+	return Result{Reason: "no combination of per-node arbitration orders satisfies RCoh"}, nil
+}
+
+// xCandidateOrders enumerates the total orders over visible(E, t) that
+// extend the visibility order, respect PresvCancel (if e1 ▷ e2 and e1 is
+// visible to e2, then e1 precedes e2), and satisfy ExecRelated.
+func xCandidateOrders(tr trace.Trace, t model.NodeID, p XProblem, hb map[model.MsgID]map[model.MsgID]bool) ([]Order, error) {
+	visEvents := tr.VisibleEvents(t)
+	if len(visEvents) > MaxVisible {
+		return nil, fmt.Errorf("core: node %s sees %d operations, exceeding the exhaustive bound %d", t, len(visEvents), MaxVisible)
+	}
+	items := make([]model.MsgID, len(visEvents))
+	byMID := map[model.MsgID]trace.Event{}
+	for i, e := range visEvents {
+		items[i] = e.MID
+		byMID[e.MID] = e
+	}
+	before := tr.VisPairs(t)
+	// PresvCancel(ar, t, E, (Γ, ▷)): e1 ▷ e2 and e1 visible to e2 ⇒ e1 ar e2.
+	for _, e1 := range visEvents {
+		for _, e2 := range visEvents {
+			if e1.MID != e2.MID && p.XSpec.CanceledBy(e1.Op, e2.Op) && hb[e2.MID][e1.MID] {
+				before[[2]model.MsgID{e1.MID, e2.MID}] = true
+			}
+		}
+	}
+	var out []Order
+	forEachLinearExtension(items, before, func(ord Order) {
+		if execRelated(tr, t, ord, p.Problem) {
+			cp := make(Order, len(ord))
+			copy(cp, ord)
+			out = append(out, cp)
+		}
+	})
+	return out, nil
+}
+
+// ncVisPairs computes the conflicting pairs {e0, e1} that are simultaneously
+// non-canceled-visible at node t for some prefix of the trace:
+// {e0, e1} ⊆ nc-vis(E', t) (Fig 13). Pairs are keyed with the smaller MsgID
+// first.
+func ncVisPairs(tr trace.Trace, t model.NodeID, sp spec.XSpec, ops map[model.MsgID]model.Op, hb map[model.MsgID]map[model.MsgID]bool) map[[2]model.MsgID]bool {
+	out := map[[2]model.MsgID]bool{}
+	var visible []model.MsgID
+	snapshot := func() {
+		// nc-vis: drop events canceled by a visible event that they are
+		// visible to (e ▷ e' ∧ e ↦vis e').
+		var nc []model.MsgID
+		for _, m := range visible {
+			canceled := false
+			for _, m2 := range visible {
+				if m != m2 && sp.CanceledBy(ops[m], ops[m2]) && hb[m2][m] {
+					canceled = true
+					break
+				}
+			}
+			if !canceled {
+				nc = append(nc, m)
+			}
+		}
+		for i, a := range nc {
+			for _, b := range nc[i+1:] {
+				if sp.Conflict(ops[a], ops[b]) {
+					k := [2]model.MsgID{a, b}
+					if b < a {
+						k = [2]model.MsgID{b, a}
+					}
+					out[k] = true
+				}
+			}
+		}
+	}
+	for _, e := range tr {
+		if e.Node != t {
+			continue
+		}
+		visible = append(visible, e.MID)
+		snapshot()
+	}
+	return out
+}
+
+// rcoh implements RCoh(t,t')((ar, ar'), E, (Γ, ⊲⊳, ◀, ▷)) (Fig 13) for two
+// fixed arbitration orders: every conflicting pair that is non-canceled-
+// visible at both nodes (at some pair of prefixes) must be ordered the same
+// way by both, and concurrent pairs related by ◀ must be ordered loser
+// first.
+func rcoh(sp spec.XSpec, ops map[model.MsgID]model.Op, hb map[model.MsgID]map[model.MsgID]bool, ar1, ar2 Order, nc1, nc2 map[[2]model.MsgID]bool) bool {
+	p1 := ar1.positions()
+	p2 := ar2.positions()
+	for pair := range nc1 {
+		if !nc2[pair] {
+			continue
+		}
+		a, b := pair[0], pair[1]
+		i1, ok1 := p1[a]
+		j1, ok2 := p1[b]
+		i2, ok3 := p2[a]
+		j2, ok4 := p2[b]
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false // both events must appear in both orders
+		}
+		if (i1 < j1) != (i2 < j2) {
+			return false
+		}
+		if trace.Concurrent(hb, a, b) {
+			if sp.WonBy(ops[a], ops[b]) && i1 > j1 {
+				return false
+			}
+			if sp.WonBy(ops[b], ops[a]) && j1 > i1 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// CheckXACCWitness decides XACT constructively, the X-wins analogue of
+// CheckACCWitness: per node it builds one arbitration order as a topological
+// sort of the visibility order together with the strategy edges
+//
+//   - e1 before e2 when they conflict and e1 happens before e2 (this also
+//     covers PresvCancel, since ▷ ⊆ ⊲⊳), and
+//   - loser before winner (◀) for concurrent conflicting pairs in which
+//     neither side has been canceled by something it is visible to
+//
+// then verifies ExecRelated, PresvCancel and pairwise RCoh directly. Unlike
+// CheckXACC it scales to long causal traces; a failure only means the
+// witness failed.
+func CheckXACCWitness(tr trace.Trace, p XProblem) (Result, error) {
+	if err := tr.CheckWellFormed(); err != nil {
+		return Result{}, err
+	}
+	if !tr.CausalDelivery() {
+		return Result{}, ErrNotCausal
+	}
+	p.Spec = p.XSpec
+	hb := tr.HappensBefore()
+	ops := originOps(tr)
+	nodes := tr.Nodes()
+	orders := map[model.NodeID]Order{}
+	ncp := map[model.NodeID]map[[2]model.MsgID]bool{}
+	for _, t := range nodes {
+		ord, err := xWitnessOrder(tr, t, p, hb)
+		if err != nil {
+			return Result{Reason: fmt.Sprintf("node %s: %v", t, err)}, nil
+		}
+		if !execRelated(tr, t, ord, p.Problem) {
+			return Result{Reason: fmt.Sprintf("node %s: witness order %v fails ExecRelated", t, ord)}, nil
+		}
+		if reason := presvCancelViolation(tr, t, ord, p, hb); reason != "" {
+			return Result{Reason: fmt.Sprintf("node %s: %s", t, reason)}, nil
+		}
+		orders[t] = ord
+		ncp[t] = ncVisPairs(tr, t, p.XSpec, ops, hb)
+	}
+	for i, t1 := range nodes {
+		for _, t2 := range nodes[i+1:] {
+			if !rcoh(p.XSpec, ops, hb, orders[t1], orders[t2], ncp[t1], ncp[t2]) {
+				return Result{Reason: fmt.Sprintf("witness orders of %s and %s violate RCoh", t1, t2)}, nil
+			}
+		}
+	}
+	return Result{OK: true, Orders: orders}, nil
+}
+
+// xWitnessOrder topologically sorts visible(E, t) by visibility ∪ the X-wins
+// strategy edges, breaking ties by MsgID. For concurrent conflicting pairs
+// the ◀-loser goes first — the winner's effect must prevail — unless the
+// winner has already been canceled locally: if some canceling operation C
+// (winner ▷ C, winner visible to C) reached this node before the loser did,
+// the winner's effect was gone when the loser arrived, and the loser is
+// serialized after it instead. This arrival-aware flip is exactly the
+// flexibility the relaxed coherence of Fig 13 grants for canceled actions,
+// resolved deterministically per node.
+func xWitnessOrder(tr trace.Trace, t model.NodeID, p XProblem, hb map[model.MsgID]map[model.MsgID]bool) (Order, error) {
+	visEvents := tr.VisibleEvents(t)
+	n := len(visEvents)
+	idx := make(map[model.MsgID]int, n)
+	for i, e := range visEvents {
+		idx[e.MID] = i
+	}
+	// arrival[mid] is the index in E|t at which mid's effector reached t.
+	arrival := map[model.MsgID]int{}
+	for i, e := range tr.Restrict(t) {
+		if _, seen := arrival[e.MID]; !seen {
+			arrival[e.MID] = i
+		}
+	}
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(i, j int) {
+		adj[i] = append(adj[i], j)
+		indeg[j]++
+	}
+	for pair := range tr.VisPairs(t) {
+		i, ok1 := idx[pair[0]]
+		j, ok2 := idx[pair[1]]
+		if ok1 && ok2 {
+			addEdge(i, j)
+		}
+	}
+	// canceledBefore reports whether winner's effect was already canceled at
+	// t when loser arrived.
+	canceledBefore := func(winner, loser trace.Event) bool {
+		for _, c := range visEvents {
+			if c.MID == winner.MID || c.MID == loser.MID {
+				continue
+			}
+			if p.XSpec.CanceledBy(winner.Op, c.Op) && hb[c.MID][winner.MID] &&
+				arrival[c.MID] < arrival[loser.MID] {
+				return true
+			}
+		}
+		return false
+	}
+	for i, e1 := range visEvents {
+		for j, e2 := range visEvents {
+			if i == j || !p.XSpec.Conflict(e1.Op, e2.Op) {
+				continue
+			}
+			switch {
+			case hb[e2.MID][e1.MID]: // e1 happens before e2
+				addEdge(i, j)
+			case hb[e1.MID][e2.MID]:
+				// covered by the symmetric iteration
+			case p.XSpec.WonBy(e1.Op, e2.Op): // e1 is the loser
+				if canceledBefore(e2, e1) {
+					addEdge(j, i) // the winner was already dead: it goes first
+				} else {
+					addEdge(i, j) // loser first, winner prevails
+				}
+			}
+		}
+	}
+	var frontier []int
+	for i := range visEvents {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	out := make(Order, 0, n)
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool {
+			return visEvents[frontier[a]].MID < visEvents[frontier[b]].MID
+		})
+		i := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, visEvents[i].MID)
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				frontier = append(frontier, j)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("visibility ∪ X-wins strategy is cyclic over %d visible operations", n)
+	}
+	return out, nil
+}
+
+// presvCancelViolation checks PresvCancel(ar, t, E, (Γ, ▷)) for a fixed
+// order: if e1 ▷ e2 and e1 is visible to e2, e1 must precede e2.
+func presvCancelViolation(tr trace.Trace, t model.NodeID, ord Order, p XProblem, hb map[model.MsgID]map[model.MsgID]bool) string {
+	pos := ord.positions()
+	visEvents := tr.VisibleEvents(t)
+	for _, e1 := range visEvents {
+		for _, e2 := range visEvents {
+			if e1.MID == e2.MID {
+				continue
+			}
+			if p.XSpec.CanceledBy(e1.Op, e2.Op) && hb[e2.MID][e1.MID] && pos[e1.MID] > pos[e2.MID] {
+				return fmt.Sprintf("PresvCancel violated: %s ▷ %s but ordered after it", e1.Op, e2.Op)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,149 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func TestInventory(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("algorithms = %d, want 9", len(all))
+	}
+	if len(UCR()) != 7 {
+		t.Fatalf("UCR algorithms = %d, want 7", len(UCR()))
+	}
+	if len(XWins()) != 2 {
+		t.Fatalf("X-wins algorithms = %d, want 2", len(XWins()))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate algorithm name %q", a.Name)
+		}
+		seen[a.Name] = true
+		got, ok := ByName(a.Name)
+		if !ok || got.Name != a.Name {
+			t.Errorf("ByName(%q) failed", a.Name)
+		}
+	}
+	if _, ok := ByName("vaporware"); ok {
+		t.Error("ByName hallucinated an algorithm")
+	}
+}
+
+// TestBundlesConsistent: every bundle's pieces agree — the object constructs,
+// its ops are non-empty, UCR bundles carry ↣/V, X-wins bundles carry the
+// extended spec and the causal-delivery requirement.
+func TestBundlesConsistent(t *testing.T) {
+	for _, a := range All() {
+		obj := a.New()
+		if obj.Name() == "" || len(obj.Ops()) == 0 {
+			t.Errorf("%s: degenerate object", a.Name)
+		}
+		if a.Abs == nil || a.Spec == nil || a.GenOp == nil || a.Universe == nil {
+			t.Errorf("%s: incomplete bundle", a.Name)
+		}
+		if a.IsX() {
+			if !a.NeedsCausal {
+				t.Errorf("%s: X-wins algorithms assume causal delivery", a.Name)
+			}
+			if a.XSpec == nil {
+				t.Errorf("%s: missing XSpec", a.Name)
+			}
+		} else {
+			if a.TSOrder == nil || a.View == nil {
+				t.Errorf("%s: UCR algorithms need ↣ and V", a.Name)
+			}
+			if a.View(obj.Init()) != nil && len(a.View(obj.Init())) != 0 {
+				t.Errorf("%s: V(init) must be empty", a.Name)
+			}
+		}
+		// φ(init) must equal the spec's initial abstract state.
+		if !a.Abs(obj.Init()).Equal(a.Spec.Init()) {
+			t.Errorf("%s: φ(init) = %s, spec init = %s", a.Name, a.Abs(obj.Init()), a.Spec.Init())
+		}
+	}
+}
+
+// TestGenOpProducesAcceptableOps: rejection sampling must succeed quickly —
+// most generated operations pass their preconditions when applied at the
+// states they were generated for.
+func TestGenOpProducesAcceptableOps(t *testing.T) {
+	pool := []model.Value{model.Str("a"), model.Str("b"), model.Str("c")}
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			obj := a.New()
+			s := obj.Init()
+			freshID := 0
+			fresh := func() model.Value {
+				freshID++
+				return model.Str(fmt.Sprintf("f%d", freshID))
+			}
+			accepted, rejected := 0, 0
+			var mid model.MsgID
+			for i := 0; i < 200; i++ {
+				op := a.GenOp(rng, s, a.Abs, pool, fresh)
+				mid++
+				_, eff, err := obj.Prepare(op, s, 0, mid)
+				switch {
+				case err == nil:
+					accepted++
+					s = eff.Apply(s)
+				case errors.Is(err, crdt.ErrAssume):
+					rejected++
+				default:
+					t.Fatalf("op %s: unexpected error %v", op, err)
+				}
+			}
+			if accepted < rejected {
+				t.Errorf("generator mostly rejected: %d accepted, %d rejected", accepted, rejected)
+			}
+		})
+	}
+}
+
+// TestUniverseWellFormed: every bundle's sampling universe passes Def 1 and
+// symmetry for its spec.
+func TestUniverseWellFormed(t *testing.T) {
+	for _, a := range All() {
+		u := a.Universe()
+		if len(u.Ops) == 0 || len(u.States) == 0 {
+			t.Errorf("%s: empty universe", a.Name)
+			continue
+		}
+		if err := spec.CheckNonComm(a.Spec, u.Ops, u.States); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if err := spec.CheckSymmetric(a.Spec, u.Ops); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+// TestExtensions: algorithms beyond the paper's nine resolve by name and
+// keep the paper inventory intact.
+func TestExtensions(t *testing.T) {
+	ext := Extensions()
+	if len(ext) != 1 || ext[0].Name != "max-register" {
+		t.Fatalf("extensions = %v", ext)
+	}
+	if len(All()) != 9 {
+		t.Fatal("extensions leaked into the paper inventory")
+	}
+	alg, ok := ByName("max-register")
+	if !ok || alg.IsX() || alg.TSOrder == nil {
+		t.Fatalf("ByName extension lookup: %v %v", alg, ok)
+	}
+	if !alg.Abs(alg.New().Init()).Equal(alg.Spec.Init()) {
+		t.Error("φ(init) mismatch for the extension")
+	}
+}

@@ -1,0 +1,210 @@
+package rga
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func v(s string) model.Value { return model.Str(s) }
+
+func addAfter(a, b model.Value) model.Op {
+	return model.Op{Name: spec.OpAddAfter, Arg: model.Pair(a, b)}
+}
+
+func remove(a model.Value) model.Op { return model.Op{Name: spec.OpRemove, Arg: a} }
+
+// apply issues op at origin t and applies the effector locally, returning
+// the new state, the return value, and the effector.
+func apply(t *testing.T, o Object, s crdt.State, op model.Op, node model.NodeID, mid model.MsgID) (crdt.State, model.Value, crdt.Effector) {
+	t.Helper()
+	ret, eff, err := o.Prepare(op, s, node, mid)
+	if err != nil {
+		t.Fatalf("Prepare(%s): %v", op, err)
+	}
+	return eff.Apply(s), ret, eff
+}
+
+// TestFig2Tree reproduces the timestamped tree of Sec 2.1: after inserting
+// a, e, b, c after a (in stamp order ts1 < ts2 < ts3 for e, b, c), d after c,
+// and removing e, read() returns acdb.
+func TestFig2Tree(t *testing.T) {
+	o := New()
+	s := o.Init()
+	var mid model.MsgID
+	next := func() model.MsgID { mid++; return mid }
+	s, _, _ = apply(t, o, s, addAfter(spec.Sentinel, v("a")), 0, next())
+	s, _, _ = apply(t, o, s, addAfter(v("a"), v("e")), 0, next())
+	s, _, _ = apply(t, o, s, addAfter(v("a"), v("b")), 0, next())
+	s, _, _ = apply(t, o, s, addAfter(v("a"), v("c")), 0, next())
+	s, _, _ = apply(t, o, s, addAfter(v("c"), v("d")), 0, next())
+	s, _, _ = apply(t, o, s, remove(v("e")), 0, next())
+	_, ret, _ := apply(t, o, s, model.Op{Name: spec.OpRead}, 0, next())
+	want := model.List(v("a"), v("c"), v("d"), v("b"))
+	if !ret.Equal(want) {
+		t.Fatalf("read = %s, want %s (acdb)", ret, want)
+	}
+	if !Abs(s).Equal(want) {
+		t.Fatalf("Abs = %s, want %s", Abs(s), want)
+	}
+}
+
+// TestFig3aConcurrentAdds replays Fig 3(a): t1 and t2 concurrently insert b
+// and c after a; after exchanging effectors both read acb (the higher-stamped
+// c sits closer to a).
+func TestFig3aConcurrentAdds(t *testing.T) {
+	o := New()
+	s0 := o.Init()
+	// Shared prefix: a inserted and replicated to both nodes.
+	_, effA, err := o.Prepare(addAfter(spec.Sentinel, v("a")), s0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := effA.Apply(s0) // replica of t1
+	s2 := effA.Apply(s0) // replica of t2
+	// Concurrent inserts: t1 issues addAfter(a,b), t2 issues addAfter(a,c).
+	_, effB, err := o.Prepare(addAfter(v("a"), v("b")), s1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, effC, err := o.Prepare(addAfter(v("a"), v("c")), s2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := effB.(AddAftEff)
+	c := effC.(AddAftEff)
+	if !b.I.Less(c.I) {
+		t.Fatalf("expected ts1 < ts2, got %s vs %s", b.I, c.I)
+	}
+	s1 = effB.Apply(s1)
+	s2 = effC.Apply(s2)
+	// Cross delivery.
+	s1 = effC.Apply(s1)
+	s2 = effB.Apply(s2)
+	want := model.List(v("a"), v("c"), v("b"))
+	if !Abs(s1).Equal(want) || !Abs(s2).Equal(want) {
+		t.Fatalf("reads = %s / %s, want acb", Abs(s1), Abs(s2))
+	}
+}
+
+// TestEffectorsCommute checks the first CRDT-TS obligation on a hand-built
+// pair of effectors: the order of applying AddAft and Rmv does not matter.
+func TestEffectorsCommute(t *testing.T) {
+	o := New()
+	s := o.Init()
+	s, _, _ = apply(t, o, s, addAfter(spec.Sentinel, v("a")), 0, 1)
+	add := AddAftEff{A: v("a"), I: model.Stamp{N: 5, Node: 2}, B: v("x")}
+	rmv := RmvEff{A: v("a")}
+	s12 := rmv.Apply(add.Apply(s))
+	s21 := add.Apply(rmv.Apply(s))
+	if s12.Key() != s21.Key() {
+		t.Fatalf("effectors do not commute:\n%s\n%s", s12.Key(), s21.Key())
+	}
+}
+
+// TestRemoveLeavesAnchor checks that a tombstoned element still anchors its
+// subtree: inserting after a dead element places the new element where the
+// dead one was.
+func TestRemoveLeavesAnchor(t *testing.T) {
+	o := New()
+	s := o.Init()
+	s, _, _ = apply(t, o, s, addAfter(spec.Sentinel, v("a")), 0, 1)
+	s, _, _ = apply(t, o, s, addAfter(v("a"), v("b")), 0, 2)
+	// remove(a) arrives at a replica that then receives addAfter(a, x) from
+	// a node that issued it while a was still alive.
+	add := AddAftEff{A: v("a"), I: model.Stamp{N: 9, Node: 3}, B: v("x")}
+	s = RmvEff{A: v("a")}.Apply(s)
+	s = add.Apply(s)
+	want := model.List(v("x"), v("b"))
+	if !Abs(s).Equal(want) {
+		t.Fatalf("Abs = %s, want %s", Abs(s), want)
+	}
+}
+
+func TestAssumePreconditions(t *testing.T) {
+	o := New()
+	s := o.Init()
+	s, _, _ = apply(t, o, s, addAfter(spec.Sentinel, v("a")), 0, 1)
+	cases := []model.Op{
+		addAfter(v("zz"), v("b")),       // anchor absent
+		addAfter(v("a"), v("a")),        // element already present
+		addAfter(v("a"), spec.Sentinel), // sentinel cannot be inserted
+		remove(v("zz")),                 // element absent
+		remove(spec.Sentinel),           // sentinel cannot be removed
+	}
+	for _, op := range cases {
+		if _, _, err := o.Prepare(op, s, 0, 99); !errors.Is(err, crdt.ErrAssume) {
+			t.Errorf("Prepare(%s): err = %v, want ErrAssume", op, err)
+		}
+	}
+	// Removed element can be neither re-added nor re-removed.
+	s, _, _ = apply(t, o, s, remove(v("a")), 0, 2)
+	if _, _, err := o.Prepare(remove(v("a")), s, 0, 100); !errors.Is(err, crdt.ErrAssume) {
+		t.Error("double remove must fail")
+	}
+	if _, _, err := o.Prepare(addAfter(spec.Sentinel, v("a")), s, 0, 101); !errors.Is(err, crdt.ErrAssume) {
+		t.Error("re-adding a removed element must fail")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	o := New()
+	if _, _, err := o.Prepare(model.Op{Name: "mystery"}, o.Init(), 0, 1); !errors.Is(err, crdt.ErrUnknownOp) {
+		t.Errorf("err = %v, want ErrUnknownOp", err)
+	}
+	if _, _, err := o.Prepare(model.Op{Name: spec.OpAddAfter, Arg: model.Int(3)}, o.Init(), 0, 1); err == nil {
+		t.Error("malformed addAfter argument must error")
+	}
+}
+
+// TestTSOrder checks the ↣ instance of Sec 8.
+func TestTSOrder(t *testing.T) {
+	a1 := AddAftEff{A: v("a"), I: model.Stamp{N: 1, Node: 1}, B: v("b")}
+	a2 := AddAftEff{A: v("a"), I: model.Stamp{N: 2, Node: 1}, B: v("c")}
+	if !TSOrder(a1, a2) || TSOrder(a2, a1) {
+		t.Error("AddAft stamps must order ↣")
+	}
+	if !TSOrder(a1, RmvEff{A: v("a")}) || !TSOrder(a1, RmvEff{A: v("b")}) {
+		t.Error("AddAft ↣ Rmv of anchor and element")
+	}
+	if TSOrder(a1, RmvEff{A: v("z")}) {
+		t.Error("AddAft unrelated to Rmv of other elements")
+	}
+	if TSOrder(RmvEff{A: v("a")}, a1) {
+		t.Error("Rmv is ↣-maximal")
+	}
+}
+
+// TestView checks that V(S) reconstructs exactly the applied effectors.
+func TestView(t *testing.T) {
+	o := New()
+	s := o.Init()
+	s, _, eff1 := apply(t, o, s, addAfter(spec.Sentinel, v("a")), 0, 1)
+	s, _, eff2 := apply(t, o, s, remove(v("a")), 0, 2)
+	view := View(s)
+	if len(view) != 2 {
+		t.Fatalf("len(V) = %d, want 2", len(view))
+	}
+	want := map[string]bool{eff1.String(): true, eff2.String(): true}
+	for _, d := range view {
+		if !want[d.String()] {
+			t.Errorf("unexpected effector in view: %s", d)
+		}
+	}
+}
+
+func TestStateKeyDistinguishesStates(t *testing.T) {
+	o := New()
+	s1 := o.Init()
+	s2, _, _ := apply(t, o, s1, addAfter(spec.Sentinel, v("a")), 0, 1)
+	if s1.Key() == s2.Key() {
+		t.Error("distinct states share a key")
+	}
+	s3, _, _ := apply(t, o, s2, remove(v("a")), 0, 2)
+	if s2.Key() == s3.Key() {
+		t.Error("tombstoning must change the key")
+	}
+}

@@ -1,0 +1,189 @@
+// Package lang implements the client programming language of Fig 6: the
+// programs "let Π in C1 ∥ … ∥ Cn" whose threads run on distinct nodes and
+// access the replicated object through operation calls x := f(E).
+//
+// The package provides a lexer, a recursive-descent parser, expression
+// evaluation over the model.Value domain, and resumable thread execution:
+// a thread advances through local computation deterministically and yields
+// at object calls, so schedulers (random or exhaustive) interleave threads
+// only at the points that matter — object operations and effector
+// deliveries.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Expr is a client expression E.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Lit is a literal value.
+type Lit struct{ V model.Value }
+
+// Var is a variable reference.
+type Var struct{ Name string }
+
+// Unary is !e or -e.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// Binary is a binary operation: + - * == != < <= > >= && || in.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// ListLit is a list literal [e1, e2, ...].
+type ListLit struct{ Elems []Expr }
+
+func (Lit) exprNode()     {}
+func (Var) exprNode()     {}
+func (Unary) exprNode()   {}
+func (Binary) exprNode()  {}
+func (ListLit) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e Lit) String() string { return e.V.String() }
+
+// String implements fmt.Stringer.
+func (e Var) String() string { return e.Name }
+
+// String implements fmt.Stringer.
+func (e Unary) String() string { return e.Op + e.E.String() }
+
+// String implements fmt.Stringer.
+func (e Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// String implements fmt.Stringer.
+func (e ListLit) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, x := range e.Elems {
+		parts[i] = x.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Stmt is a client statement C.
+type Stmt interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// Skip is the no-op statement.
+type Skip struct{}
+
+// Assign is x := E (pure local computation).
+type Assign struct {
+	X string
+	E Expr
+}
+
+// Call is [x :=] f(args): an object operation call. Zero args encode the
+// nil argument, one arg passes through, two args become a pair (as RGA's
+// addAfter(a, b) does).
+type Call struct {
+	X    string // "" when the result is discarded
+	F    model.OpName
+	Args []Expr
+}
+
+// Assert evaluates E and fails the execution if it is not true.
+type Assert struct{ E Expr }
+
+// If is the conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is the loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (Skip) stmtNode()   {}
+func (Assign) stmtNode() {}
+func (Call) stmtNode()   {}
+func (Assert) stmtNode() {}
+func (If) stmtNode()     {}
+func (While) stmtNode()  {}
+
+// String implements fmt.Stringer.
+func (Skip) String() string { return "skip;" }
+
+// String implements fmt.Stringer.
+func (s Assign) String() string { return fmt.Sprintf("%s := %s;", s.X, s.E) }
+
+// String implements fmt.Stringer.
+func (s Call) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	call := fmt.Sprintf("%s(%s)", s.F, strings.Join(parts, ", "))
+	if s.X == "" {
+		return call + ";"
+	}
+	return fmt.Sprintf("%s := %s;", s.X, call)
+}
+
+// String implements fmt.Stringer.
+func (s Assert) String() string { return fmt.Sprintf("assert(%s);", s.E) }
+
+// String implements fmt.Stringer.
+func (s If) String() string {
+	out := fmt.Sprintf("if (%s) { %s }", s.Cond, stmtsString(s.Then))
+	if len(s.Else) > 0 {
+		out += fmt.Sprintf(" else { %s }", stmtsString(s.Else))
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s While) String() string {
+	return fmt.Sprintf("while (%s) { %s }", s.Cond, stmtsString(s.Body))
+}
+
+func stmtsString(ss []Stmt) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Thread is one client Ci, pinned to a node.
+type Thread struct {
+	Name string
+	Node model.NodeID
+	Body []Stmt
+}
+
+// Program is the client side of "let Π in C1 ∥ … ∥ Cn": one thread per node.
+type Program struct {
+	Threads []Thread
+}
+
+// String renders the program in concrete syntax.
+func (p Program) String() string {
+	var b strings.Builder
+	for i, t := range p.Threads {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "node %s { %s }", t.Name, stmtsString(t.Body))
+	}
+	return b.String()
+}

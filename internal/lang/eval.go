@@ -1,0 +1,171 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Env is a client-local variable environment.
+type Env map[string]model.Value
+
+// Clone copies the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Key renders the environment canonically (sorted by name).
+func (e Env) Key() string {
+	names := make([]string, 0, len(e))
+	for k := range e {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, e[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EvalError reports a runtime type or scoping error in a client expression.
+type EvalError struct{ Msg string }
+
+func (e *EvalError) Error() string { return "lang: " + e.Msg }
+
+func evalErrf(format string, args ...any) *EvalError {
+	return &EvalError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates a client expression under env.
+func Eval(e Expr, env Env) (model.Value, error) {
+	switch x := e.(type) {
+	case Lit:
+		return x.V, nil
+	case Var:
+		v, ok := env[x.Name]
+		if !ok {
+			return model.Nil(), evalErrf("unbound variable %q", x.Name)
+		}
+		return v, nil
+	case ListLit:
+		vs := make([]model.Value, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := Eval(el, env)
+			if err != nil {
+				return model.Nil(), err
+			}
+			vs[i] = v
+		}
+		return model.List(vs...), nil
+	case Unary:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return model.Nil(), err
+		}
+		switch x.Op {
+		case "!":
+			b, ok := v.AsBool()
+			if !ok {
+				return model.Nil(), evalErrf("! applied to non-boolean %s", v)
+			}
+			return model.Bool(!b), nil
+		case "-":
+			n, ok := v.AsInt()
+			if !ok {
+				return model.Nil(), evalErrf("- applied to non-integer %s", v)
+			}
+			return model.Int(-n), nil
+		default:
+			return model.Nil(), evalErrf("unknown unary operator %q", x.Op)
+		}
+	case Binary:
+		return evalBinary(x, env)
+	default:
+		return model.Nil(), evalErrf("unknown expression %T", e)
+	}
+}
+
+func evalBinary(x Binary, env Env) (model.Value, error) {
+	// Short-circuit booleans first.
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return model.Nil(), err
+		}
+		lb, ok := l.AsBool()
+		if !ok {
+			return model.Nil(), evalErrf("%s applied to non-boolean %s", x.Op, l)
+		}
+		if (x.Op == "&&" && !lb) || (x.Op == "||" && lb) {
+			return model.Bool(lb), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return model.Nil(), err
+		}
+		rb, ok := r.AsBool()
+		if !ok {
+			return model.Nil(), evalErrf("%s applied to non-boolean %s", x.Op, r)
+		}
+		return model.Bool(rb), nil
+	}
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return model.Nil(), err
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return model.Nil(), err
+	}
+	switch x.Op {
+	case "==":
+		return model.Bool(l.Equal(r)), nil
+	case "!=":
+		return model.Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c := l.Compare(r)
+		switch x.Op {
+		case "<":
+			return model.Bool(c < 0), nil
+		case "<=":
+			return model.Bool(c <= 0), nil
+		case ">":
+			return model.Bool(c > 0), nil
+		default:
+			return model.Bool(c >= 0), nil
+		}
+	case "in":
+		if r.Kind() != model.KindList {
+			return model.Nil(), evalErrf("`in` requires a list on the right, got %s", r)
+		}
+		return model.Bool(r.Contains(l)), nil
+	case "+", "-", "*":
+		ln, ok1 := l.AsInt()
+		rn, ok2 := r.AsInt()
+		if !ok1 || !ok2 {
+			return model.Nil(), evalErrf("%s applied to non-integers %s, %s", x.Op, l, r)
+		}
+		switch x.Op {
+		case "+":
+			return model.Int(ln + rn), nil
+		case "-":
+			return model.Int(ln - rn), nil
+		default:
+			return model.Int(ln * rn), nil
+		}
+	default:
+		return model.Nil(), evalErrf("unknown binary operator %q", x.Op)
+	}
+}

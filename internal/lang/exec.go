@@ -1,0 +1,217 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ErrAssertFailed is returned when an assert statement evaluates to false.
+var ErrAssertFailed = errors.New("lang: assertion failed")
+
+// maxLocalSteps bounds purely local computation between object calls, so a
+// local infinite loop is detected instead of hanging the scheduler.
+const maxLocalSteps = 100000
+
+// frame is one entry of a thread's control stack: a statement sequence and
+// the index of the next statement.
+type frame struct {
+	stmts []Stmt
+	i     int
+}
+
+// ThreadState is the resumable execution state of one client thread. Local
+// computation runs deterministically; the thread pauses whenever the next
+// action is an object call, which the scheduler performs via PendingCall /
+// CompleteCall.
+type ThreadState struct {
+	Thread  Thread
+	Env     Env
+	History []string // completed calls, rendered "f(arg) => ret"
+
+	stack   []frame
+	pending *Call
+	failed  error
+}
+
+// NewThreadState prepares a thread for execution with an empty environment.
+func NewThreadState(t Thread) *ThreadState {
+	return &ThreadState{
+		Thread: t,
+		Env:    Env{},
+		stack:  []frame{{stmts: t.Body}},
+	}
+}
+
+// Clone deep-copies the thread state (for exhaustive exploration).
+func (ts *ThreadState) Clone() *ThreadState {
+	cp := &ThreadState{
+		Thread:  ts.Thread,
+		Env:     ts.Env.Clone(),
+		History: append([]string(nil), ts.History...),
+		stack:   append([]frame(nil), ts.stack...),
+		pending: ts.pending,
+		failed:  ts.failed,
+	}
+	return cp
+}
+
+// Done reports whether the thread has finished (successfully or not).
+func (ts *ThreadState) Done() bool {
+	return ts.failed != nil || (ts.pending == nil && len(ts.stack) == 0)
+}
+
+// Err returns the thread's failure, if any (assertion or evaluation error).
+func (ts *ThreadState) Err() error { return ts.failed }
+
+// Key canonically renders the thread's control and data state.
+func (ts *ThreadState) Key() string {
+	var b strings.Builder
+	b.WriteString(ts.Env.Key())
+	b.WriteByte('|')
+	for _, f := range ts.stack {
+		fmt.Fprintf(&b, "%d/%d;", f.i, len(f.stmts))
+		for j := f.i; j < len(f.stmts) && j < f.i+1; j++ {
+			b.WriteString(f.stmts[j].String())
+		}
+	}
+	if ts.pending != nil {
+		b.WriteString("?" + ts.pending.String())
+	}
+	if ts.failed != nil {
+		b.WriteString("!" + ts.failed.Error())
+	}
+	return b.String()
+}
+
+// Advance runs local computation until the thread is done, fails, or reaches
+// an object call. It returns the pending call, if any.
+func (ts *ThreadState) Advance() (*Call, error) {
+	if ts.failed != nil {
+		return nil, ts.failed
+	}
+	if ts.pending != nil {
+		return ts.pending, nil
+	}
+	for steps := 0; ; steps++ {
+		if steps > maxLocalSteps {
+			ts.failed = fmt.Errorf("lang: thread %s exceeded %d local steps (infinite loop?)", ts.Thread.Name, maxLocalSteps)
+			return nil, ts.failed
+		}
+		// Pop exhausted frames.
+		for len(ts.stack) > 0 && ts.stack[len(ts.stack)-1].i >= len(ts.stack[len(ts.stack)-1].stmts) {
+			ts.stack = ts.stack[:len(ts.stack)-1]
+		}
+		if len(ts.stack) == 0 {
+			return nil, nil // finished
+		}
+		top := &ts.stack[len(ts.stack)-1]
+		stmt := top.stmts[top.i]
+		switch s := stmt.(type) {
+		case Skip:
+			top.i++
+		case Assign:
+			v, err := Eval(s.E, ts.Env)
+			if err != nil {
+				ts.failed = err
+				return nil, err
+			}
+			ts.Env[s.X] = v
+			top.i++
+		case Assert:
+			v, err := Eval(s.E, ts.Env)
+			if err != nil {
+				ts.failed = err
+				return nil, err
+			}
+			if !v.Equal(model.True) {
+				ts.failed = fmt.Errorf("%w: %s (env %s)", ErrAssertFailed, s.E, ts.Env.Key())
+				return nil, ts.failed
+			}
+			top.i++
+		case If:
+			v, err := Eval(s.Cond, ts.Env)
+			if err != nil {
+				ts.failed = err
+				return nil, err
+			}
+			top.i++
+			if v.Equal(model.True) {
+				ts.stack = append(ts.stack, frame{stmts: s.Then})
+			} else if len(s.Else) > 0 {
+				ts.stack = append(ts.stack, frame{stmts: s.Else})
+			}
+		case While:
+			v, err := Eval(s.Cond, ts.Env)
+			if err != nil {
+				ts.failed = err
+				return nil, err
+			}
+			if v.Equal(model.True) {
+				// Leave the while in place; push the body.
+				ts.stack = append(ts.stack, frame{stmts: s.Body})
+			} else {
+				top.i++
+			}
+		case Call:
+			call := s
+			ts.pending = &call
+			top.i++
+			return ts.pending, nil
+		default:
+			ts.failed = fmt.Errorf("lang: unknown statement %T", stmt)
+			return nil, ts.failed
+		}
+	}
+}
+
+// CallOp evaluates the pending call's arguments into a model.Op: zero
+// arguments pass Nil, one passes through, two form a pair.
+func (ts *ThreadState) CallOp() (model.Op, error) {
+	if ts.pending == nil {
+		return model.Op{}, errors.New("lang: no pending call")
+	}
+	var arg model.Value
+	switch len(ts.pending.Args) {
+	case 0:
+		arg = model.Nil()
+	case 1:
+		v, err := Eval(ts.pending.Args[0], ts.Env)
+		if err != nil {
+			return model.Op{}, err
+		}
+		arg = v
+	case 2:
+		a, err := Eval(ts.pending.Args[0], ts.Env)
+		if err != nil {
+			return model.Op{}, err
+		}
+		b, err := Eval(ts.pending.Args[1], ts.Env)
+		if err != nil {
+			return model.Op{}, err
+		}
+		arg = model.Pair(a, b)
+	default:
+		return model.Op{}, fmt.Errorf("lang: operation %s called with %d arguments (max 2)",
+			ts.pending.F, len(ts.pending.Args))
+	}
+	return model.Op{Name: ts.pending.F, Arg: arg}, nil
+}
+
+// CompleteCall records the result of the pending call and resumes the
+// thread's local execution.
+func (ts *ThreadState) CompleteCall(op model.Op, ret model.Value) {
+	if ts.pending == nil {
+		panic("lang: CompleteCall without a pending call")
+	}
+	if ts.pending.X != "" {
+		ts.Env[ts.pending.X] = ret
+	}
+	ts.History = append(ts.History, fmt.Sprintf("%s => %s", op, ret))
+	ts.pending = nil
+}
+
+// Fail marks the thread as failed (e.g. when the runtime rejects a call).
+func (ts *ThreadState) Fail(err error) { ts.failed = err }

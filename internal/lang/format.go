@@ -1,0 +1,44 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program with indentation — the pretty counterpart of
+// Program.String (which is single-line per thread). The output re-parses to
+// an identical AST.
+func Format(p Program) string {
+	var b strings.Builder
+	for i, t := range p.Threads {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "node %s {\n", t.Name)
+		formatStmts(&b, t.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("\t", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case If:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, st.Cond)
+			formatStmts(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				formatStmts(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", indent, st.Cond)
+			formatStmts(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		default:
+			fmt.Fprintf(b, "%s%s\n", indent, s)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that successful parses
+// round-trip: rendering the AST and re-parsing yields the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`node t1 { skip; }`,
+		`node t1 { x := 1 + 2 * 3; }`,
+		`node a { inc(1); } node b { y := read(); }`,
+		`node t { if (x == 1) { skip; } else { x := 2; } }`,
+		`node t { while (n < 4) { n := n + 1; } }`,
+		`node t { addAfter(sentinel, "b"); assert("b" in u); }`,
+		`node t { v := [1, "two", nil, [true]]; }`,
+		`node t { // comment
+		  x := -y; }`,
+		`node {`,
+		`node t1 { x := "unterminated`,
+		"node t é {}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := prog.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered program does not re-parse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not a fixpoint:\n1: %q\n2: %q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzLexer checks tokenization never panics or loops on arbitrary input.
+func FuzzLexer(f *testing.F) {
+	f.Add(`x := "a\n\"b" + 12; // c`)
+	f.Add("\x00\xff{}[]:=!<>&|")
+	f.Add(strings.Repeat("(", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func TestParseFig3Client(t *testing.T) {
+	src := `
+// Fig 3(b): a client of RGA.
+node t1 {
+  addAfter("a", "b");
+  x := read();
+}
+node t2 {
+  u := read();
+  if ("b" in u) {
+    addAfter("a", "c");
+  }
+  y := read();
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Threads) != 2 {
+		t.Fatalf("threads = %d", len(prog.Threads))
+	}
+	if prog.Threads[0].Name != "t1" || prog.Threads[0].Node != 0 {
+		t.Errorf("thread 0 = %+v", prog.Threads[0])
+	}
+	if len(prog.Threads[0].Body) != 2 {
+		t.Errorf("t1 body = %v", prog.Threads[0].Body)
+	}
+	call, ok := prog.Threads[0].Body[0].(Call)
+	if !ok || call.F != "addAfter" || len(call.Args) != 2 || call.X != "" {
+		t.Errorf("first stmt = %#v", prog.Threads[0].Body[0])
+	}
+	iff, ok := prog.Threads[1].Body[1].(If)
+	if !ok {
+		t.Fatalf("t2 second stmt = %#v", prog.Threads[1].Body[1])
+	}
+	if _, ok := iff.Cond.(Binary); !ok {
+		t.Errorf("if condition = %#v", iff.Cond)
+	}
+	// Round-trip through String and re-parse.
+	if _, err := Parse(prog.String()); err != nil {
+		t.Fatalf("re-parse of %q: %v", prog.String(), err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                // no threads
+		`node t1 { x := ; }`,              // missing expression
+		`node t1 { x := 1 }`,              // missing semicolon
+		`node t1 { if (1) { skip; }`,      // unterminated block
+		`node t1 { 1 := x; }`,             // bad lhs
+		`node t1 { x := "unterminated; }`, // unterminated string
+		`node t1 { x := 9999999999999999999999; }`, // overflow
+		`node { skip; }`,           // missing name
+		`node t1 { y @ 3; }`,       // bad char
+		`node t1 { assert(true) }`, // missing semicolon
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalExpressions(t *testing.T) {
+	env := Env{"x": model.Int(3), "u": model.List(model.Str("a"), model.Str("b"))}
+	cases := []struct {
+		src  string
+		want model.Value
+	}{
+		{`1 + 2 * 3`, model.Int(7)},
+		{`(1 + 2) * 3`, model.Int(9)},
+		{`x - 5`, model.Int(-2)},
+		{`-x`, model.Int(-3)},
+		{`x == 3`, model.True},
+		{`x != 3`, model.False},
+		{`x < 4 && x > 2`, model.True},
+		{`x < 2 || x >= 3`, model.True},
+		{`!(x == 3)`, model.False},
+		{`"a" in u`, model.True},
+		{`"z" in u`, model.False},
+		{`u == ["a", "b"]`, model.True},
+		{`nil == nil`, model.True},
+		{`sentinel`, spec.Sentinel},
+		{`"x\n\"\\"`, model.Str("x\n\"\\")},
+	}
+	for _, c := range cases {
+		prog := MustParse("node t { y := " + c.src + "; }")
+		e := prog.Threads[0].Body[0].(Assign).E
+		got, err := Eval(e, env)
+		if err != nil {
+			t.Errorf("Eval(%s): %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Eval(%s) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := Env{"x": model.Int(3)}
+	for _, src := range []string{
+		`y + 1`,     // unbound
+		`x + "a"`,   // type error
+		`!x`,        // type error
+		`-"a"`,      // type error
+		`x && true`, // type error
+		`1 in 2`,    // non-list membership
+	} {
+		prog := MustParse("node t { z := " + src + "; }")
+		e := prog.Threads[0].Body[0].(Assign).E
+		if _, err := Eval(e, env); err == nil {
+			t.Errorf("Eval(%s) succeeded, want error", src)
+		}
+	}
+}
+
+// scriptRuntime serves calls from a fixed table for thread-stepping tests.
+type scriptRuntime map[string]model.Value
+
+func (r scriptRuntime) serve(op model.Op) model.Value {
+	if v, ok := r[op.String()]; ok {
+		return v
+	}
+	return model.Nil()
+}
+
+func runThread(t *testing.T, src string, rt scriptRuntime) *ThreadState {
+	t.Helper()
+	prog := MustParse(src)
+	ts := NewThreadState(prog.Threads[0])
+	for {
+		call, err := ts.Advance()
+		if err != nil || call == nil {
+			return ts
+		}
+		op, err := ts.CallOp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.CompleteCall(op, rt.serve(op))
+	}
+}
+
+func TestThreadLocalControlFlow(t *testing.T) {
+	src := `node t {
+	  n := 0;
+	  while (n < 4) { n := n + 1; }
+	  if (n == 4) { ok := true; } else { ok := false; }
+	  assert(ok);
+	}`
+	ts := runThread(t, src, scriptRuntime{})
+	if ts.Err() != nil {
+		t.Fatal(ts.Err())
+	}
+	if !ts.Env["n"].Equal(model.Int(4)) {
+		t.Errorf("n = %s", ts.Env["n"])
+	}
+}
+
+func TestThreadCalls(t *testing.T) {
+	src := `node t {
+	  inc(2);
+	  x := read();
+	  assert(x == 2);
+	}`
+	rt := scriptRuntime{"read()": model.Int(2)}
+	ts := runThread(t, src, rt)
+	if ts.Err() != nil {
+		t.Fatal(ts.Err())
+	}
+	if len(ts.History) != 2 || !strings.Contains(ts.History[1], "read() => 2") {
+		t.Errorf("history = %v", ts.History)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	ts := runThread(t, `node t { assert(false); }`, scriptRuntime{})
+	if !errors.Is(ts.Err(), ErrAssertFailed) {
+		t.Fatalf("err = %v", ts.Err())
+	}
+	if !ts.Done() {
+		t.Error("failed thread should be done")
+	}
+}
+
+func TestInfiniteLoopDetected(t *testing.T) {
+	ts := runThread(t, `node t { while (true) { skip; } }`, scriptRuntime{})
+	if ts.Err() == nil || !strings.Contains(ts.Err().Error(), "local steps") {
+		t.Fatalf("err = %v", ts.Err())
+	}
+}
+
+func TestPairArguments(t *testing.T) {
+	prog := MustParse(`node t { addAfter(sentinel, "b"); }`)
+	ts := NewThreadState(prog.Threads[0])
+	call, err := ts.Advance()
+	if err != nil || call == nil {
+		t.Fatal(err)
+	}
+	op, err := ts.CallOp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok := op.Arg.AsPair()
+	if !ok || !a.Equal(spec.Sentinel) || !b.Equal(model.Str("b")) {
+		t.Fatalf("op = %s", op)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	prog := MustParse(`node t { x := 1; inc(1); x := 2; }`)
+	ts := NewThreadState(prog.Threads[0])
+	if _, err := ts.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	cp := ts.Clone()
+	op, _ := ts.CallOp()
+	ts.CompleteCall(op, model.Nil())
+	if _, err := ts.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.pending == nil {
+		t.Error("clone lost its pending call")
+	}
+	if !ts.Env["x"].Equal(model.Int(2)) || !cp.Env["x"].Equal(model.Int(1)) {
+		t.Errorf("env isolation broken: %s vs %s", ts.Env.Key(), cp.Env.Key())
+	}
+}
+
+func TestThreadKeyChanges(t *testing.T) {
+	prog := MustParse(`node t { x := 1; x := 2; }`)
+	ts := NewThreadState(prog.Threads[0])
+	k0 := ts.Key()
+	if _, err := ts.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Key() == k0 {
+		t.Error("key did not change after execution")
+	}
+}
+
+// TestFormat: the indenting formatter produces parseable output equal (as an
+// AST rendering) to the original.
+func TestFormat(t *testing.T) {
+	src := `node t1 {
+	  x := 0;
+	  while (x < 3) { x := x + 1; if (x == 2) { inc(1); } else { skip; } }
+	  y := read();
+	}
+	node t2 { dec(2); }`
+	prog := MustParse(src)
+	formatted := Format(prog)
+	if !strings.Contains(formatted, "\tif (") || !strings.Contains(formatted, "\t\tinc(1);") {
+		t.Errorf("formatting lacks indentation:\n%s", formatted)
+	}
+	again, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, formatted)
+	}
+	if again.String() != prog.String() {
+		t.Fatalf("round trip changed the AST:\n%s\nvs\n%s", again.String(), prog.String())
+	}
+}

@@ -1,0 +1,189 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokSym     // punctuation and operators
+	tokKeyword // node if else while skip assert true false nil in sentinel
+)
+
+var keywords = map[string]bool{
+	"node": true, "if": true, "else": true, "while": true, "skip": true,
+	"assert": true, "true": true, "false": true, "nil": true, "in": true,
+	"sentinel": true,
+}
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexing or parsing failure with its source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer tokenizes client-program source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// twoCharSyms are the multi-rune operators, longest match first.
+var twoCharSyms = []string{":=", "==", "!=", "<=", ">=", "&&", "||"}
+
+// next returns the next token.
+func (l *lexer) next() (token, *SyntaxError) {
+	for {
+		// Skip whitespace and comments.
+		for l.pos < len(l.src) && unicode.IsSpace(l.peek()) {
+			l.advance()
+		}
+		if strings.HasPrefix(l.src[l.pos:], "//") {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, l.errorf("unterminated escape in string literal")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"', '\\':
+					b.WriteRune(esc)
+				default:
+					return token{}, l.errorf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokString, text: b.String(), line: startLine, col: startCol}, nil
+	default:
+		for _, sym := range twoCharSyms {
+			if strings.HasPrefix(l.src[l.pos:], sym) {
+				l.advance()
+				l.advance()
+				return token{kind: tokSym, text: sym, line: startLine, col: startCol}, nil
+			}
+		}
+		if strings.ContainsRune("(){}[];,+-*<>!=", r) {
+			l.advance()
+			return token{kind: tokSym, text: string(r), line: startLine, col: startCol}, nil
+		}
+		return token{}, l.errorf("unexpected character %q", r)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, *SyntaxError) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Parse parses a whole client program:
+//
+//	program := { "node" IDENT "{" { stmt } "}" }
+//
+// Threads are assigned node IDs 0, 1, … in declaration order.
+func Parse(src string) (Program, error) {
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return Program{}, lerr
+	}
+	p := &parser{toks: toks}
+	var prog Program
+	for !p.at(tokEOF, "") {
+		if err := p.expect(tokKeyword, "node"); err != nil {
+			return Program{}, err
+		}
+		name := p.cur().text
+		if err := p.expect(tokIdent, ""); err != nil {
+			return Program{}, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return Program{}, err
+		}
+		prog.Threads = append(prog.Threads, Thread{
+			Name: name,
+			Node: model.NodeID(len(prog.Threads)),
+			Body: body,
+		})
+	}
+	if len(prog.Threads) == 0 {
+		return Program{}, fmt.Errorf("lang: program has no threads")
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and examples.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if p.eat(kind, text) {
+		return nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		switch kind {
+		case tokIdent:
+			want = "identifier"
+		case tokInt:
+			want = "integer"
+		default:
+			want = "token"
+		}
+	} else {
+		want = strconv.Quote(want)
+	}
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected %s, found %s", want, t)}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect(tokSym, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at(tokSym, "}") {
+		if p.at(tokEOF, "") {
+			t := p.cur()
+			return nil, &SyntaxError{Line: t.line, Col: t.col, Msg: "unterminated block"}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.i++ // consume "}"
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.eat(tokKeyword, "skip"):
+		return Skip{}, p.expect(tokSym, ";")
+	case p.eat(tokKeyword, "assert"):
+		if err := p.expect(tokSym, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		return Assert{E: e}, p.expect(tokSym, ";")
+	case p.eat(tokKeyword, "if"):
+		if err := p.expect(tokSym, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.eat(tokKeyword, "else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case p.eat(tokKeyword, "while"):
+		if err := p.expect(tokSym, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSym, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+	case t.kind == tokIdent:
+		name := t.text
+		p.i++
+		switch {
+		case p.eat(tokSym, "("): // bare call statement: f(args);
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return Call{F: model.OpName(name), Args: args}, p.expect(tokSym, ";")
+		case p.eat(tokSym, ":="):
+			// x := f(args);  or  x := expr;
+			if p.cur().kind == tokIdent && p.i+1 < len(p.toks) &&
+				p.toks[p.i+1].kind == tokSym && p.toks[p.i+1].text == "(" {
+				f := p.cur().text
+				p.i += 2 // ident and "("
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				return Call{X: name, F: model.OpName(f), Args: args}, p.expect(tokSym, ";")
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return Assign{X: name, E: e}, p.expect(tokSym, ";")
+		default:
+			cur := p.cur()
+			return nil, &SyntaxError{Line: cur.line, Col: cur.col,
+				Msg: fmt.Sprintf(`expected ":=" or "(" after identifier %q, found %s`, name, cur)}
+		}
+	default:
+		return nil, &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("unexpected %s at start of statement", t)}
+	}
+}
+
+// args parses a possibly empty argument list up to and including ")".
+func (p *parser) args() ([]Expr, error) {
+	var out []Expr
+	if p.eat(tokSym, ")") {
+		return out, nil
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.eat(tokSym, ")") {
+			return out, nil
+		}
+		if err := p.expect(tokSym, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Precedence-climbing expression parsing: || < && < comparisons/in < +- < *.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSym, "||") {
+		p.i++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSym, "&&") {
+		p.i++
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.kind == tokSym && cmpOps[t.text]:
+		p.i++
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: t.text, L: l, R: r}, nil
+	case p.eat(tokKeyword, "in"):
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: "in", L: l, R: r}, nil
+	default:
+		return l, nil
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSym, "+") || p.at(tokSym, "-") {
+		op := p.cur().text
+		p.i++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSym, "*") {
+		p.i++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "*", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokSym, "!") || p.at(tokSym, "-") {
+		op := p.cur().text
+		p.i++
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: op, E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.i++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.line, Col: t.col, Msg: "integer out of range"}
+		}
+		return Lit{V: model.Int(n)}, nil
+	case t.kind == tokString:
+		p.i++
+		return Lit{V: model.Str(t.text)}, nil
+	case p.eat(tokKeyword, "true"):
+		return Lit{V: model.True}, nil
+	case p.eat(tokKeyword, "false"):
+		return Lit{V: model.False}, nil
+	case p.eat(tokKeyword, "nil"):
+		return Lit{V: model.Nil()}, nil
+	case p.eat(tokKeyword, "sentinel"):
+		return Lit{V: spec.Sentinel}, nil
+	case t.kind == tokIdent:
+		p.i++
+		return Var{Name: t.text}, nil
+	case p.eat(tokSym, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tokSym, ")")
+	case p.eat(tokSym, "["):
+		var elems []Expr
+		if !p.eat(tokSym, "]") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.eat(tokSym, "]") {
+					break
+				}
+				if err := p.expect(tokSym, ","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ListLit{Elems: elems}, nil
+	default:
+		return nil, &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("unexpected %s in expression", t)}
+	}
+}

@@ -1,0 +1,322 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Ctx bundles the specification context of a logic judgment: Γ, ⊲⊳ and the
+// object-state variable name used by lifted state assertions.
+type Ctx struct {
+	Spec spec.Spec
+	// StateVar is the variable bound to the abstract object state when
+	// evaluating lifted state assertions (default "s").
+	StateVar string
+	// IsQuery identifies read-only operations, whose identity actions need
+	// no guarantee coverage and are not recorded in worlds. Nil treats every
+	// operation as effectful.
+	IsQuery func(model.OpName) bool
+}
+
+func (c Ctx) stateVar() string {
+	if c.StateVar == "" {
+		return "s"
+	}
+	return c.StateVar
+}
+
+// Conflict returns the ⊲⊳ of the context.
+func (c Ctx) Conflict() Conflict { return c.Spec.Conflict }
+
+// Sat decides the lifted state assertion judgment p ⇒ P (Sec 7): for every
+// world of p, every arrival superset of its actions, and every linearization
+// consistent with the known order, the resulting object state (bound to the
+// state variable) together with the world's pinned client variables
+// satisfies the boolean expression P.
+func (c Ctx) Sat(p Assn, P lang.Expr) error {
+	for _, w := range p.Worlds(c.Conflict()) {
+		if err := c.satWorld(w, P, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeliverSat decides p ⇛ P: like Sat, but every issued action is considered
+// arrived first (the paper's "receiving and applying all the actions on the
+// way").
+func (c Ctx) DeliverSat(p Assn, P lang.Expr) error {
+	for _, w := range p.Worlds(c.Conflict()) {
+		if err := c.satWorld(w, P, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c Ctx) satWorld(w World, P lang.Expr, deliverAll bool) error {
+	if deliverAll {
+		w = w.Clone()
+		for id := range w.Actions {
+			w.Arrived[id] = true
+		}
+	}
+	var firstErr error
+	ok := w.arrivalSupersets(func(ids []string) bool {
+		return w.linearize(ids, func(lin []string) bool {
+			s := w.Init
+			for _, id := range lin {
+				_, s = c.Spec.Apply(w.Actions[id].Op, s)
+			}
+			env := w.Env.Clone()
+			env[c.stateVar()] = s
+			v, err := lang.Eval(P, env)
+			if err != nil {
+				firstErr = fmt.Errorf("logic: evaluating %s under %s: %w", P, env.Key(), err)
+				return false
+			}
+			if !v.Equal(model.True) {
+				firstErr = fmt.Errorf("logic: %s fails at world %s with %s=%s (order %v)",
+					P, w.Key(), c.stateVar(), s, lin)
+				return false
+			}
+			return true
+		})
+	})
+	if !ok {
+		return firstErr
+	}
+	return nil
+}
+
+// Entail decides p ⇒ q as world coverage: every world of p must be covered
+// by some world of q (q may forget order, downgrade arrived actions to
+// issued ones, and drop variable knowledge — the paper's safe weakenings).
+func (c Ctx) Entail(p, q Assn) error {
+	qs := q.Worlds(c.Conflict())
+	for _, w := range p.Worlds(c.Conflict()) {
+		found := false
+		for _, v := range qs {
+			if covers(v, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("logic: entailment fails: world %s of %s is not covered by %s", w.Key(), p, q)
+		}
+	}
+	return nil
+}
+
+// Rule is one rely/guarantee conjunct p' ; [α]^i_t: node t may issue α once
+// the actions in Requires have arrived at t.
+type Rule struct {
+	// Requires lists the actions whose arrival at the issuing node is the
+	// prerequisite p' (the boxed actions of p'; an unconditional rule has
+	// none).
+	Requires []Action
+	// Issues is the action the rule emits.
+	Issues Action
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	if len(r.Requires) == 0 {
+		return fmt.Sprintf("true ; [%s]", r.Issues)
+	}
+	parts := make([]string, len(r.Requires))
+	for i, a := range r.Requires {
+		parts[i] = "⌈" + a.String() + "⌉"
+	}
+	return fmt.Sprintf("%s ; [%s]", parts, r.Issues)
+}
+
+// RG is a rely or guarantee condition: a disjunction of rules.
+type RG []Rule
+
+// Includes reports whether every rule of g appears in r (used for the par
+// rule's (∨ G_t') ⇒ R_t side condition).
+func (r RG) Includes(g RG) bool {
+	for _, gr := range g {
+		found := false
+		for _, rr := range r {
+			if rr.String() == gr.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// stabilizeWorld applies one rely rule to one world, following the paper's
+// three steps: (1) the rule applies if the world knows every required action
+// (possibly still in brackets); (2) the issued action is added in brackets;
+// (3) required actions that conflict with the issued one are ordered before
+// it. It returns the extended world and whether the rule applied and changed
+// anything.
+func (c Ctx) stabilizeWorld(w World, r Rule) (World, bool) {
+	if w.Has(r.Issues) {
+		return w, false
+	}
+	for _, req := range r.Requires {
+		if !w.Has(req) {
+			return w, false
+		}
+	}
+	nw := w.Clone()
+	nw.AddAction(r.Issues, false)
+	for _, req := range r.Requires {
+		if c.Spec.Conflict(req.Op, r.Issues.Op) {
+			if !nw.Order(req.ID, r.Issues.ID) {
+				return w, false // inconsistent extension: cannot happen physically
+			}
+		}
+	}
+	return nw, true
+}
+
+// Sta decides Sta(p, R, ⊲⊳): p is stable under every rely rule — extending
+// any of its worlds by an applicable environment action stays within p.
+func (c Ctx) Sta(p Assn, R RG) error {
+	worlds := p.Worlds(c.Conflict())
+	qs := worlds // coverage target
+	for _, w := range worlds {
+		for _, r := range R {
+			nw, applied := c.stabilizeWorld(w, r)
+			if !applied {
+				continue
+			}
+			found := false
+			for _, v := range qs {
+				if covers(v, nw) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("logic: %s is not stable under %s: world %s extends to uncovered %s",
+					p, r, w.Key(), nw.Key())
+			}
+		}
+	}
+	return nil
+}
+
+// Stabilize closes p under the rely rules: it repeatedly applies every
+// applicable rule to every world and returns the disjunction of all
+// reachable worlds. The result is stable by construction.
+func (c Ctx) Stabilize(p Assn, R RG) Assn {
+	worlds := p.Worlds(c.Conflict())
+	seen := map[string]World{}
+	var queue []World
+	for _, w := range worlds {
+		if _, ok := seen[w.Key()]; !ok {
+			seen[w.Key()] = w
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, r := range R {
+			nw, applied := c.stabilizeWorld(w, r)
+			if !applied {
+				continue
+			}
+			if _, ok := seen[nw.Key()]; !ok {
+				seen[nw.Key()] = nw
+				queue = append(queue, nw)
+			}
+		}
+	}
+	out := make([]World, 0, len(seen))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	sortStrings(keys)
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return Lit{Ws: out}
+}
+
+// CmtClosed decides cmt-closed(p): receiving any already-issued action (in
+// any world) stays within p.
+func (c Ctx) CmtClosed(p Assn) error {
+	worlds := p.Worlds(c.Conflict())
+	for _, w := range worlds {
+		for id := range w.Actions {
+			if w.Arrived[id] {
+				continue
+			}
+			nw := w.Clone()
+			nw.Arrived[id] = true
+			found := false
+			for _, v := range worlds {
+				if covers(v, nw) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("logic: %s is not cmt-closed: arrival of %s leaves world %s uncovered",
+					p, id, w.Key())
+			}
+		}
+	}
+	return nil
+}
+
+// CmtClose closes p under arrivals of already-issued actions.
+func (c Ctx) CmtClose(p Assn) Assn {
+	worlds := p.Worlds(c.Conflict())
+	seen := map[string]World{}
+	var queue []World
+	for _, w := range worlds {
+		seen[w.Key()] = w
+		queue = append(queue, w)
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for id := range w.Actions {
+			if w.Arrived[id] {
+				continue
+			}
+			nw := w.Clone()
+			nw.Arrived[id] = true
+			if _, ok := seen[nw.Key()]; !ok {
+				seen[nw.Key()] = nw
+				queue = append(queue, nw)
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]World, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return Lit{Ws: out}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package refine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crdt"
+	"repro/internal/lang"
+)
+
+// RunRandom executes a client program once over a runtime under a seeded
+// random schedule (thread steps and deliveries interleaved uniformly) and
+// returns the terminated behaviour. Threads blocked by `assume` are retried
+// after further deliveries and reported as failed if they can never proceed.
+func RunRandom(prog lang.Program, rt Runtime, seed int64) (Behavior, error) {
+	rng := rand.New(rand.NewSource(seed))
+	st := exploreState{rt: rt}
+	for _, th := range prog.Threads {
+		st.threads = append(st.threads, lang.NewThreadState(th))
+	}
+	stall := 0
+	for {
+		type choice struct {
+			thread int // -1 for a delivery
+			del    Choice
+		}
+		var choices []choice
+		allDone := true
+		for i, ts := range st.threads {
+			call, err := ts.Advance()
+			if err != nil {
+				continue
+			}
+			if call != nil {
+				allDone = false
+				choices = append(choices, choice{thread: i})
+			} else if !ts.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			return behaviorOf(st), nil
+		}
+		for _, d := range st.rt.Choices() {
+			choices = append(choices, choice{thread: -1, del: d})
+		}
+		if len(choices) == 0 {
+			return Behavior{}, errors.New("refine: execution stuck (blocked threads and no deliveries)")
+		}
+		ch := choices[rng.Intn(len(choices))]
+		if ch.thread < 0 {
+			if err := st.rt.Apply(ch.del); err != nil {
+				return Behavior{}, err
+			}
+			stall = 0
+			continue
+		}
+		ts := st.threads[ch.thread]
+		op, err := ts.CallOp()
+		if err != nil {
+			ts.Fail(err)
+			continue
+		}
+		ret, err := st.rt.Invoke(ts.Thread.Node, op)
+		if err != nil {
+			if errors.Is(err, crdt.ErrAssume) {
+				// Blocked: maybe a pending delivery unblocks it later.
+				stall++
+				if stall > 1000 {
+					ts.Fail(fmt.Errorf("operation %s permanently blocked: %w", op, err))
+				}
+				continue
+			}
+			return Behavior{}, err
+		}
+		stall = 0
+		ts.CompleteCall(op, ret)
+	}
+}

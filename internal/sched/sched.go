@@ -1,0 +1,208 @@
+// Package sched provides a portable, replayable representation of cluster
+// executions. Effectors are algorithm-internal values and cannot be decoded
+// generically, so a Schedule stores what *drives* an execution instead — the
+// sequence of client invocations and effector deliveries — and replays it
+// through the (deterministic) implementation to reconstruct the identical
+// trace. Schedules serialize to JSON, making failing executions shareable
+// artifacts: acc-check can save a counterexample and anyone can re-check it.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// StepKind distinguishes schedule entries.
+type StepKind string
+
+// The step kinds.
+const (
+	StepInvoke  StepKind = "invoke"
+	StepDeliver StepKind = "deliver"
+	StepDrop    StepKind = "drop"
+)
+
+// Step is one scheduled action.
+type Step struct {
+	Kind StepKind `json:"kind"`
+	Node int      `json:"node"`
+	// Op and Arg describe the invocation (invoke steps only).
+	Op  string          `json:"op,omitempty"`
+	Arg json.RawMessage `json:"arg,omitempty"`
+	// MID identifies the delivered or dropped request (deliver/drop steps).
+	MID int `json:"mid,omitempty"`
+}
+
+// Schedule is a replayable execution recipe.
+type Schedule struct {
+	// Algorithm names the registry algorithm the schedule was built for
+	// (informational; Replay takes the object explicitly).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Causal records whether the cluster enforced causal delivery.
+	Causal bool   `json:"causal"`
+	Nodes  int    `json:"nodes"`
+	Steps  []Step `json:"steps"`
+}
+
+// valueJSON is the JSON encoding of model.Value.
+type valueJSON struct {
+	Kind string      `json:"kind"`
+	Bool bool        `json:"bool,omitempty"`
+	Int  int64       `json:"int,omitempty"`
+	Str  string      `json:"str,omitempty"`
+	Sub  []valueJSON `json:"sub,omitempty"`
+}
+
+func encodeValue(v model.Value) valueJSON {
+	switch v.Kind() {
+	case model.KindNil:
+		return valueJSON{Kind: "nil"}
+	case model.KindBool:
+		b, _ := v.AsBool()
+		return valueJSON{Kind: "bool", Bool: b}
+	case model.KindInt:
+		n, _ := v.AsInt()
+		return valueJSON{Kind: "int", Int: n}
+	case model.KindString:
+		s, _ := v.AsString()
+		return valueJSON{Kind: "str", Str: s}
+	case model.KindPair:
+		a, b, _ := v.AsPair()
+		return valueJSON{Kind: "pair", Sub: []valueJSON{encodeValue(a), encodeValue(b)}}
+	default:
+		elems, _ := v.AsList()
+		sub := make([]valueJSON, len(elems))
+		for i, e := range elems {
+			sub[i] = encodeValue(e)
+		}
+		return valueJSON{Kind: "list", Sub: sub}
+	}
+}
+
+func decodeValue(j valueJSON) (model.Value, error) {
+	switch j.Kind {
+	case "nil", "":
+		return model.Nil(), nil
+	case "bool":
+		return model.Bool(j.Bool), nil
+	case "int":
+		return model.Int(j.Int), nil
+	case "str":
+		return model.Str(j.Str), nil
+	case "pair":
+		if len(j.Sub) != 2 {
+			return model.Nil(), fmt.Errorf("sched: pair with %d components", len(j.Sub))
+		}
+		a, err := decodeValue(j.Sub[0])
+		if err != nil {
+			return model.Nil(), err
+		}
+		b, err := decodeValue(j.Sub[1])
+		if err != nil {
+			return model.Nil(), err
+		}
+		return model.Pair(a, b), nil
+	case "list":
+		elems := make([]model.Value, len(j.Sub))
+		for i, s := range j.Sub {
+			e, err := decodeValue(s)
+			if err != nil {
+				return model.Nil(), err
+			}
+			elems[i] = e
+		}
+		return model.List(elems...), nil
+	default:
+		return model.Nil(), fmt.Errorf("sched: unknown value kind %q", j.Kind)
+	}
+}
+
+// EncodeValue marshals a model.Value to JSON.
+func EncodeValue(v model.Value) (json.RawMessage, error) {
+	return json.Marshal(encodeValue(v))
+}
+
+// DecodeValue unmarshals a model.Value from JSON.
+func DecodeValue(raw json.RawMessage) (model.Value, error) {
+	if len(raw) == 0 {
+		return model.Nil(), nil
+	}
+	var j valueJSON
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return model.Nil(), err
+	}
+	return decodeValue(j)
+}
+
+// FromTrace extracts the schedule that drives a recorded trace. Dropped
+// messages are not recorded in traces, so drops do not round-trip — a
+// replayed cluster simply leaves them undelivered.
+func FromTrace(tr trace.Trace, nodes int, causal bool, algorithm string) (Schedule, error) {
+	s := Schedule{Algorithm: algorithm, Causal: causal, Nodes: nodes}
+	for _, e := range tr {
+		if e.IsOrigin {
+			arg, err := EncodeValue(e.Op.Arg)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Steps = append(s.Steps, Step{
+				Kind: StepInvoke, Node: int(e.Node), Op: string(e.Op.Name), Arg: arg,
+			})
+		} else {
+			s.Steps = append(s.Steps, Step{Kind: StepDeliver, Node: int(e.Node), MID: int(e.MID)})
+		}
+	}
+	return s, nil
+}
+
+// Replay drives a fresh cluster of the given object through the schedule and
+// returns it. Replays are deterministic: invocations assign the same MsgIDs
+// as the original run, so deliver steps resolve identically.
+func (s Schedule) Replay(obj crdt.Object) (*sim.Cluster, error) {
+	var opts []sim.Option
+	if s.Causal {
+		opts = append(opts, sim.WithCausalDelivery())
+	}
+	c := sim.NewCluster(obj, s.Nodes, opts...)
+	for i, st := range s.Steps {
+		switch st.Kind {
+		case StepInvoke:
+			arg, err := DecodeValue(st.Arg)
+			if err != nil {
+				return nil, fmt.Errorf("sched: step %d: %w", i, err)
+			}
+			op := model.Op{Name: model.OpName(st.Op), Arg: arg}
+			if _, _, err := c.Invoke(model.NodeID(st.Node), op); err != nil {
+				return nil, fmt.Errorf("sched: step %d: invoke %s at t%d: %w", i, op, st.Node, err)
+			}
+		case StepDeliver:
+			if err := c.Deliver(model.NodeID(st.Node), model.MsgID(st.MID)); err != nil {
+				return nil, fmt.Errorf("sched: step %d: %w", i, err)
+			}
+		case StepDrop:
+			if err := c.Drop(model.NodeID(st.Node), model.MsgID(st.MID)); err != nil {
+				return nil, fmt.Errorf("sched: step %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("sched: step %d: unknown kind %q", i, st.Kind)
+		}
+	}
+	return c, nil
+}
+
+// Marshal renders the schedule as indented JSON.
+func (s Schedule) Marshal() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Unmarshal parses a schedule from JSON.
+func Unmarshal(data []byte) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// genValue mirrors the model test generator for round-trip checks.
+func genValue(r *rand.Rand, depth int) model.Value {
+	k := r.Intn(6)
+	if depth <= 0 && k >= 4 {
+		k = r.Intn(4)
+	}
+	switch k {
+	case 0:
+		return model.Nil()
+	case 1:
+		return model.Bool(r.Intn(2) == 0)
+	case 2:
+		return model.Int(int64(r.Intn(40) - 20))
+	case 3:
+		return model.Str(string(rune('a' + r.Intn(6))))
+	case 4:
+		return model.Pair(genValue(r, depth-1), genValue(r, depth-1))
+	default:
+		n := r.Intn(3)
+		vs := make([]model.Value, n)
+		for i := range vs {
+			vs[i] = genValue(r, depth-1)
+		}
+		return model.List(vs...)
+	}
+}
+
+// TestValueJSONRoundTrip property-checks EncodeValue/DecodeValue.
+func TestValueJSONRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(genValue(r, 3))
+		},
+	}
+	f := func(v model.Value) bool {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeValue(raw)
+		if err != nil {
+			return false
+		}
+		return back.Equal(v)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if v, err := DecodeValue(nil); err != nil || !v.IsNil() {
+		t.Error("empty raw should decode to nil")
+	}
+	if _, err := DecodeValue([]byte(`{"kind":"wat"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeValue([]byte(`{"kind":"pair","sub":[]}`)); err == nil {
+		t.Error("malformed pair accepted")
+	}
+}
+
+// TestScheduleRoundTrip: extract a schedule from a random run, serialize,
+// parse, replay — the replayed trace must be identical event for event.
+func TestScheduleRoundTrip(t *testing.T) {
+	for _, alg := range []registry.Algorithm{registry.RGA(), registry.AWSet(), registry.LWWSet()} {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			w := sim.Workload{
+				Object: alg.New(), Abs: alg.Abs, Gen: sim.GenFunc(alg.GenOp),
+				Nodes: 3, Steps: 40, Causal: alg.NeedsCausal,
+			}
+			orig := w.Run(5)
+			s, err := FromTrace(orig.Trace(), 3, alg.NeedsCausal, alg.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := s.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parsed.Algorithm != alg.Name || parsed.Nodes != 3 {
+				t.Fatalf("metadata lost: %+v", parsed)
+			}
+			replayed, err := parsed.Replay(alg.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			origTr, replTr := orig.Trace(), replayed.Trace()
+			if len(origTr) != len(replTr) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(origTr), len(replTr))
+			}
+			for i := range origTr {
+				a, b := origTr[i], replTr[i]
+				if a.MID != b.MID || a.Node != b.Node || !a.Op.Equal(b.Op) ||
+					!a.Ret.Equal(b.Ret) || a.Eff.String() != b.Eff.String() || a.IsOrigin != b.IsOrigin {
+					t.Fatalf("event %d differs:\n%s\n%s", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayErrors: malformed schedules fail with positioned errors.
+func TestReplayErrors(t *testing.T) {
+	alg := registry.Counter()
+	bad := Schedule{Nodes: 2, Steps: []Step{{Kind: StepDeliver, Node: 1, MID: 99}}}
+	if _, err := bad.Replay(alg.New()); err == nil {
+		t.Error("delivery of unknown message accepted")
+	}
+	bad = Schedule{Nodes: 1, Steps: []Step{{Kind: "warp", Node: 0}}}
+	if _, err := bad.Replay(alg.New()); err == nil {
+		t.Error("unknown step kind accepted")
+	}
+	bad = Schedule{Nodes: 1, Steps: []Step{{Kind: StepInvoke, Node: 0, Op: "mystery"}}}
+	if _, err := bad.Replay(alg.New()); err == nil {
+		t.Error("unknown operation accepted")
+	}
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestDropStep: drops replay as never-delivered messages.
+func TestDropStep(t *testing.T) {
+	alg := registry.GSet()
+	arg, _ := EncodeValue(model.Str("x"))
+	s := Schedule{Nodes: 2, Steps: []Step{
+		{Kind: StepInvoke, Node: 0, Op: "add", Arg: arg},
+		{Kind: StepDrop, Node: 1, MID: 1},
+	}}
+	c, err := s.Replay(alg.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() != 0 {
+		t.Error("drop did not clear the message")
+	}
+	if _, ok := c.Converged(alg.Abs); ok {
+		t.Error("replicas should differ after the drop")
+	}
+}
+
+// TestSameScheduleBothListCRDTs drives the IDENTICAL schedule through both
+// list implementations — RGA and the continuous sequence. Both refine the
+// same abstract list specification, so both must converge and satisfy ACC on
+// the same execution recipe, and they must agree on WHICH elements are live
+// (the set is order-independent), though the two algorithms may order them
+// differently (their arbitration orders differ — Fig 4's point).
+func TestSameScheduleBothListCRDTs(t *testing.T) {
+	rga := registry.RGA()
+	cseq := registry.CSeq()
+	for seed := int64(1); seed <= 6; seed++ {
+		w := sim.Workload{
+			Object: rga.New(), Abs: rga.Abs, Gen: sim.GenFunc(rga.GenOp),
+			Nodes: 3, Steps: 30, FinalDrain: true,
+		}
+		orig := w.Run(seed)
+		s, err := FromTrace(orig.Trace(), 3, false, "list-script")
+		if err != nil {
+			t.Fatal(err)
+		}
+		elements := func(v model.Value) string {
+			elems, _ := v.AsList()
+			sorted := append([]model.Value(nil), elems...)
+			model.SortValues(sorted)
+			return model.List(sorted...).String()
+		}
+		var finals []string
+		for _, alg := range []registry.Algorithm{rga, cseq} {
+			c, err := s.Replay(alg.New())
+			if err != nil {
+				t.Fatalf("seed %d: %s replay: %v", seed, alg.Name, err)
+			}
+			abs, ok := c.Converged(alg.Abs)
+			if !ok {
+				t.Fatalf("seed %d: %s diverged", seed, alg.Name)
+			}
+			res, err := core.CheckACCWitness(c.Trace(), core.Problem{
+				Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs,
+			}, alg.TSOrder)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, alg.Name, err)
+			}
+			if !res.OK {
+				t.Fatalf("seed %d: %s: %s", seed, alg.Name, res.Reason)
+			}
+			finals = append(finals, elements(abs))
+		}
+		if finals[0] != finals[1] {
+			t.Fatalf("seed %d: live-element sets differ: %s vs %s", seed, finals[0], finals[1])
+		}
+	}
+}

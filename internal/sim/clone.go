@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Clone deep-copies the cluster so exhaustive explorers can branch. Replica
+// states, effectors and messages are immutable and therefore shared.
+func (c *Cluster) Clone() *Cluster {
+	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID}
+	cp.partition = append([]int(nil), c.partition...)
+	cp.states = append(cp.states, c.states...)
+	cp.tr = append(cp.tr, c.tr...)
+	for _, a := range c.applied {
+		na := make(map[model.MsgID]bool, len(a))
+		for k := range a {
+			na[k] = true
+		}
+		cp.applied = append(cp.applied, na)
+	}
+	for _, box := range c.inbox {
+		nb := make(map[model.MsgID]*message, len(box))
+		for k, v := range box {
+			nb[k] = v
+		}
+		cp.inbox = append(cp.inbox, nb)
+	}
+	return cp
+}
+
+// Key canonically renders the cluster's future-relevant state (replica
+// states, pending messages with their contents and dependencies, applied
+// sets) for memoized exploration. Message contents are included because two
+// exploration branches may reuse the same MsgID for different operations.
+func (c *Cluster) Key() string {
+	var b strings.Builder
+	for t, s := range c.states {
+		fmt.Fprintf(&b, "t%d=%s|", t, s.Key())
+		pend := make([]int, 0, len(c.inbox[t]))
+		for mid := range c.inbox[t] {
+			pend = append(pend, int(mid))
+		}
+		sort.Ints(pend)
+		b.WriteString("p[")
+		for _, mid := range pend {
+			msg := c.inbox[t][model.MsgID(mid)]
+			deps := make([]int, 0, len(msg.deps))
+			for d := range msg.deps {
+				deps = append(deps, int(d))
+			}
+			sort.Ints(deps)
+			fmt.Fprintf(&b, "%d=%s%v,", mid, msg.eff, deps)
+		}
+		b.WriteString("]|")
+		app := make([]int, 0, len(c.applied[t]))
+		for mid := range c.applied[t] {
+			app = append(app, int(mid))
+		}
+		sort.Ints(app)
+		fmt.Fprintf(&b, "a%v;", app)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+)
+
+// Script is a fixed sequence of operation invocations (in issue order, each
+// at a node); ExploreSchedules runs it under EVERY interleaving of effector
+// deliveries, subject to the per-step rule that an operation is issued only
+// after the previous scripted operation.
+type Script []ScriptOp
+
+// ScriptOp is one scripted invocation.
+type ScriptOp struct {
+	Node model.NodeID
+	Op   model.Op
+}
+
+// ErrScheduleBudget is returned when exploration exceeds MaxStates.
+var ErrScheduleBudget = errors.New("sim: schedule exploration exceeded the state budget")
+
+// ExploreSchedules enumerates the delivery schedules of a script
+// exhaustively: at each point the next scripted operation may be issued or
+// any deliverable message may be delivered, and at quiescence (script
+// exhausted, network drained) fn is called with the final cluster. States
+// are deduplicated by Cluster.Key. It returns the number of distinct
+// terminal states visited, or ErrScheduleBudget.
+//
+// This is the object-level counterpart of refine's behaviour enumeration:
+// no client program, just every order in which the network can apply a fixed
+// set of updates — the universally quantified half of the SEC definition,
+// decided by brute force on bounded scripts.
+func ExploreSchedules(obj crdt.Object, nodes int, script Script, causal bool, maxStates int, fn func(*Cluster) error) (int, error) {
+	if maxStates == 0 {
+		maxStates = 200000
+	}
+	var opts []Option
+	if causal {
+		opts = append(opts, WithCausalDelivery())
+	}
+	seen := map[string]bool{}
+	terminals := 0
+	var dfs func(c *Cluster, next int) error
+	dfs = func(c *Cluster, next int) error {
+		if next == len(script) && c.Pending() == 0 {
+			terminals++
+			return fn(c)
+		}
+		key := fmt.Sprintf("%d|%s", next, c.Key())
+		if seen[key] {
+			return nil
+		}
+		if len(seen) >= maxStates {
+			return fmt.Errorf("%w (%d states)", ErrScheduleBudget, maxStates)
+		}
+		seen[key] = true
+		if next < len(script) {
+			cp := c.Clone()
+			if _, _, err := cp.Invoke(script[next].Node, script[next].Op); err != nil {
+				if !errors.Is(err, crdt.ErrAssume) {
+					return err
+				}
+				// Blocked by an assume: this branch waits for deliveries.
+			} else if err := dfs(cp, next+1); err != nil {
+				return err
+			}
+		}
+		for dst := 0; dst < c.N(); dst++ {
+			for _, mid := range c.Deliverable(model.NodeID(dst)) {
+				cp := c.Clone()
+				if err := cp.Deliver(model.NodeID(dst), mid); err != nil {
+					return err
+				}
+				if err := dfs(cp, next); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(NewCluster(obj, nodes, opts...), 0); err != nil {
+		return terminals, err
+	}
+	return terminals, nil
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Partition splits the cluster into link-disjoint groups: messages between
+// nodes in different groups stop being deliverable (they stay queued, not
+// dropped) until Heal is called. Nodes keep accepting client operations
+// throughout — the availability half of the CAP story CRDTs exist for.
+// Nodes absent from every group form an implicit singleton group each.
+func (c *Cluster) Partition(groups ...[]model.NodeID) error {
+	side := make([]int, c.N())
+	for i := range side {
+		side[i] = -1
+	}
+	for g, members := range groups {
+		for _, n := range members {
+			if int(n) < 0 || int(n) >= c.N() {
+				return fmt.Errorf("sim: no such node %s", n)
+			}
+			if side[n] != -1 {
+				return fmt.Errorf("sim: node %s appears in two groups", n)
+			}
+			side[n] = g
+		}
+	}
+	next := len(groups)
+	for i := range side {
+		if side[i] == -1 {
+			side[i] = next
+			next++
+		}
+	}
+	c.partition = side
+	return nil
+}
+
+// Heal removes the partition; everything queued becomes deliverable again
+// (subject to causal delivery when enabled).
+func (c *Cluster) Heal() { c.partition = nil }
+
+// Partitioned reports whether a partition is in effect.
+func (c *Cluster) Partitioned() bool { return c.partition != nil }
+
+// linked reports whether messages may currently flow from a to b.
+func (c *Cluster) linked(a, b model.NodeID) bool {
+	if c.partition == nil {
+		return true
+	}
+	return c.partition[a] == c.partition[b]
+}

@@ -1,0 +1,253 @@
+// Package sim simulates a replicated cluster executing an operation-based
+// CRDT under the network assumptions of Sec 3: effectors are broadcast to
+// every other node, delivered asynchronously, at most once per node, possibly
+// never, and in arbitrary order (no FIFO). A cluster can optionally enforce
+// causal delivery, the stronger assumption required by the X-wins sets
+// (Sec 2.4, Sec 9).
+//
+// The cluster records the execution as a trace.Trace — the event traces over
+// which ACC, XACC and convergence are decided — and supports scripted
+// deliveries (to replay the paper's figures), random schedules (for
+// property-based soundness harnesses), and full drains (to reach quiescence).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// message is one in-flight effector addressed to a single destination node.
+type message struct {
+	mid  model.MsgID
+	from model.NodeID
+	op   model.Op
+	eff  crdt.Effector
+	deps map[model.MsgID]bool // operations visible at the origin when issued
+}
+
+// Cluster is a simulated replicated system running one CRDT object.
+type Cluster struct {
+	obj     crdt.Object
+	causal  bool
+	states  []crdt.State
+	applied []map[model.MsgID]bool // effectors applied per node
+	inbox   []map[model.MsgID]*message
+	tr      trace.Trace
+	nextMID model.MsgID
+	// partition, when non-nil, assigns each node to a link group; messages
+	// only flow within a group (see Partition/Heal).
+	partition []int
+}
+
+// Option configures a cluster.
+type Option func(*Cluster)
+
+// WithCausalDelivery makes the cluster refuse to deliver an effector to a
+// node before every effector that happened before it (Sec 9).
+func WithCausalDelivery() Option { return func(c *Cluster) { c.causal = true } }
+
+// NewCluster creates a cluster of n nodes (IDs 0..n-1), each starting from
+// the object's initial state.
+func NewCluster(obj crdt.Object, n int, opts ...Option) *Cluster {
+	if n < 1 {
+		panic("sim: cluster needs at least one node")
+	}
+	c := &Cluster{obj: obj, nextMID: 1}
+	for i := 0; i < n; i++ {
+		c.states = append(c.states, obj.Init())
+		c.applied = append(c.applied, map[model.MsgID]bool{})
+		c.inbox = append(c.inbox, map[model.MsgID]*message{})
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.states) }
+
+// Object returns the CRDT implementation the cluster runs.
+func (c *Cluster) Object() crdt.Object { return c.obj }
+
+// StateOf returns the current replica state of a node.
+func (c *Cluster) StateOf(t model.NodeID) crdt.State { return c.states[t] }
+
+// Trace returns a copy of the execution trace so far.
+func (c *Cluster) Trace() trace.Trace {
+	out := make(trace.Trace, len(c.tr))
+	copy(out, c.tr)
+	return out
+}
+
+// Invoke issues op at node t: the first phase (Prepare) runs over the local
+// replica, the effector is applied at t immediately and atomically, the
+// origin event is recorded, and the effector is broadcast to the other nodes
+// (identity effectors are not broadcast, Sec 2.1). Invoke returns the
+// operation's return value and its unique request ID. It returns
+// crdt.ErrAssume unchanged when the operation's precondition fails, leaving
+// the cluster untouched.
+func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID, error) {
+	if int(t) < 0 || int(t) >= len(c.states) {
+		return model.Nil(), 0, fmt.Errorf("sim: no such node %s", t)
+	}
+	mid := c.nextMID
+	ret, eff, err := c.obj.Prepare(op, c.states[t], t, mid)
+	if err != nil {
+		return model.Nil(), 0, err
+	}
+	c.nextMID++
+	deps := make(map[model.MsgID]bool, len(c.applied[t]))
+	for m := range c.applied[t] {
+		deps[m] = true
+	}
+	c.states[t] = eff.Apply(c.states[t])
+	c.tr = append(c.tr, trace.Event{
+		MID: mid, Node: t, Origin: t, Op: op, Ret: ret, Eff: eff, IsOrigin: true,
+	})
+	if !crdt.IsIdentity(eff) {
+		// Identity effectors are never broadcast, so they must not enter
+		// anyone's causal dependency set either — they could never be
+		// satisfied at a remote node.
+		c.applied[t][mid] = true
+		for dst := range c.states {
+			if model.NodeID(dst) == t {
+				continue
+			}
+			c.inbox[dst][mid] = &message{mid: mid, from: t, op: op, eff: eff, deps: deps}
+		}
+	}
+	return ret, mid, nil
+}
+
+// deliverable reports whether msg may be delivered to dst now, honouring
+// causal delivery when enabled.
+func (c *Cluster) deliverable(dst model.NodeID, msg *message) bool {
+	if !c.linked(msg.from, dst) {
+		return false
+	}
+	if !c.causal {
+		return true
+	}
+	for dep := range msg.deps {
+		if !c.applied[dst][dep] {
+			return false
+		}
+	}
+	return true
+}
+
+// Deliverable returns the request IDs currently deliverable to dst, sorted.
+func (c *Cluster) Deliverable(dst model.NodeID) []model.MsgID {
+	var out []model.MsgID
+	for mid, msg := range c.inbox[dst] {
+		if c.deliverable(dst, msg) {
+			out = append(out, mid)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Deliver applies the in-flight effector mid at node dst and records the
+// delivery event.
+func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
+	msg, ok := c.inbox[dst][mid]
+	if !ok {
+		return fmt.Errorf("sim: no pending message %s for node %s", mid, dst)
+	}
+	if !c.deliverable(dst, msg) {
+		return fmt.Errorf("sim: delivering %s to %s would violate causal delivery", mid, dst)
+	}
+	delete(c.inbox[dst], mid)
+	c.states[dst] = msg.eff.Apply(c.states[dst])
+	c.applied[dst][mid] = true
+	c.tr = append(c.tr, trace.Event{
+		MID: mid, Node: dst, Origin: msg.from, Op: msg.op, Eff: msg.eff, IsOrigin: false,
+	})
+	return nil
+}
+
+// Drop discards the in-flight effector mid addressed to dst; it will never
+// be delivered (the paper allows messages to be lost).
+func (c *Cluster) Drop(dst model.NodeID, mid model.MsgID) error {
+	if _, ok := c.inbox[dst][mid]; !ok {
+		return fmt.Errorf("sim: no pending message %s for node %s", mid, dst)
+	}
+	delete(c.inbox[dst], mid)
+	return nil
+}
+
+// Pending returns the total number of undelivered messages.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, box := range c.inbox {
+		n += len(box)
+	}
+	return n
+}
+
+// DeliverRandom delivers one random deliverable message using rng. It
+// reports whether a delivery happened.
+func (c *Cluster) DeliverRandom(rng *rand.Rand) bool {
+	type slot struct {
+		dst model.NodeID
+		mid model.MsgID
+	}
+	var slots []slot
+	for dst := range c.inbox {
+		for _, mid := range c.Deliverable(model.NodeID(dst)) {
+			slots = append(slots, slot{model.NodeID(dst), mid})
+		}
+	}
+	if len(slots) == 0 {
+		return false
+	}
+	s := slots[rng.Intn(len(slots))]
+	if err := c.Deliver(s.dst, s.mid); err != nil {
+		panic(err) // unreachable: slot was deliverable
+	}
+	return true
+}
+
+// DeliverAll drains every in-flight message (in causal mode, repeatedly
+// delivering whatever is deliverable until quiescent). It panics if messages
+// remain undeliverable, which would indicate a dependency-tracking bug.
+func (c *Cluster) DeliverAll() {
+	for c.Pending() > 0 {
+		progress := false
+		for dst := range c.inbox {
+			for _, mid := range c.Deliverable(model.NodeID(dst)) {
+				if err := c.Deliver(model.NodeID(dst), mid); err == nil {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			if c.Partitioned() {
+				return // cross-partition messages legitimately wait for Heal
+			}
+			panic("sim: undeliverable messages remain (broken causal dependencies)")
+		}
+	}
+}
+
+// Converged reports whether all replicas map to the same abstract state
+// under φ, and returns that abstract state when they do.
+func (c *Cluster) Converged(abs crdt.Abstraction) (model.Value, bool) {
+	ref := abs(c.states[0])
+	for _, s := range c.states[1:] {
+		if !abs(s).Equal(ref) {
+			return model.Nil(), false
+		}
+	}
+	return ref, true
+}

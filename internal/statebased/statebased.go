@@ -1,0 +1,425 @@
+// Package statebased implements state-based (convergent) CRDTs and a gossip
+// substrate for them. The paper verifies operation-based CRDTs and names
+// state-based ones as future work ("our results may be adapted to support
+// state-based CRDTs when assuming causal delivery"); this package provides
+// the executable substrate for that direction: join-semilattice states,
+// monotone local updates, anti-entropy by state merge, and the classic
+// state-based counterparts of the paper's algorithms, each related to its
+// op-based sibling by the same abstraction function φ.
+//
+// Convergence here is a lattice property rather than an effector-commutation
+// property: merges are joins, joins are associative/commutative/idempotent,
+// so replicas that have (transitively) exchanged states agree on the join of
+// all updates — checked by the property tests alongside the lattice laws.
+package statebased
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Lattice is a join-semilattice state.
+type Lattice interface {
+	// Join returns the least upper bound of the receiver and other. The
+	// arguments are not mutated.
+	Join(other Lattice) Lattice
+	// Leq reports the lattice order: receiver ⊑ other.
+	Leq(other Lattice) bool
+	// Key renders the state canonically.
+	Key() string
+}
+
+// Object is a state-based CRDT: monotone local updates over lattice states.
+type Object interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Init returns the bottom state.
+	Init() Lattice
+	// Update applies a mutating operation locally; the result must satisfy
+	// s ⊑ result (checked by the harnesses).
+	Update(op model.Op, s Lattice, origin model.NodeID) (Lattice, error)
+	// Query evaluates a read-only operation.
+	Query(op model.Op, s Lattice) (model.Value, error)
+	// Abs is the abstraction function φ to the common abstract state.
+	Abs(s Lattice) model.Value
+}
+
+// ErrUnknownOp mirrors the op-based error for out-of-domain operations.
+var ErrUnknownOp = fmt.Errorf("statebased: unknown operation")
+
+// ---------------------------------------------------------------------------
+// G-Counter and PN-Counter
+// ---------------------------------------------------------------------------
+
+// GCounter is the grow-only counter: a per-node vector of increments, joined
+// pointwise by max.
+type GCounter struct {
+	Counts map[model.NodeID]int64
+}
+
+// NewGCounter returns the bottom G-Counter.
+func NewGCounter() GCounter { return GCounter{Counts: map[model.NodeID]int64{}} }
+
+// Join implements Lattice.
+func (g GCounter) Join(other Lattice) Lattice {
+	o := other.(GCounter)
+	out := map[model.NodeID]int64{}
+	for n, v := range g.Counts {
+		out[n] = v
+	}
+	for n, v := range o.Counts {
+		if v > out[n] {
+			out[n] = v
+		}
+	}
+	return GCounter{Counts: out}
+}
+
+// Leq implements Lattice.
+func (g GCounter) Leq(other Lattice) bool {
+	o := other.(GCounter)
+	for n, v := range g.Counts {
+		if v > o.Counts[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements Lattice. Zero entries are skipped: a slot that was never
+// incremented and an explicit zero are the same state, so the rendering
+// stays canonical under joins.
+func (g GCounter) Key() string {
+	nodes := make([]int, 0, len(g.Counts))
+	for n := range g.Counts {
+		if g.Counts[n] != 0 {
+			nodes = append(nodes, int(n))
+		}
+	}
+	sort.Ints(nodes)
+	var b strings.Builder
+	b.WriteString("gctr{")
+	for i, n := range nodes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "t%d:%d", n, g.Counts[model.NodeID(n)])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sum is the counter value: the sum of per-node counts.
+func (g GCounter) Sum() int64 {
+	var s int64
+	for _, v := range g.Counts {
+		s += v
+	}
+	return s
+}
+
+// inc returns g with origin's slot increased by n (n ≥ 0).
+func (g GCounter) inc(origin model.NodeID, n int64) GCounter {
+	out := g.Join(NewGCounter()).(GCounter) // copy
+	out.Counts[origin] += n
+	return out
+}
+
+// PNCounter pairs two G-Counters for increments and decrements — the
+// state-based counterpart of the paper's replicated counter.
+type PNCounter struct {
+	P, N GCounter
+}
+
+// Join implements Lattice.
+func (c PNCounter) Join(other Lattice) Lattice {
+	o := other.(PNCounter)
+	return PNCounter{P: c.P.Join(o.P).(GCounter), N: c.N.Join(o.N).(GCounter)}
+}
+
+// Leq implements Lattice.
+func (c PNCounter) Leq(other Lattice) bool {
+	o := other.(PNCounter)
+	return c.P.Leq(o.P) && c.N.Leq(o.N)
+}
+
+// Key implements Lattice.
+func (c PNCounter) Key() string { return "pn{" + c.P.Key() + "-" + c.N.Key() + "}" }
+
+// Value is the counter value.
+func (c PNCounter) Value() int64 { return c.P.Sum() - c.N.Sum() }
+
+// PNCounterObject is the Object over PNCounter states with the op-based
+// counter's interface (inc/dec/read).
+type PNCounterObject struct{}
+
+// Name implements Object.
+func (PNCounterObject) Name() string { return "pn-counter" }
+
+// Init implements Object.
+func (PNCounterObject) Init() Lattice { return PNCounter{P: NewGCounter(), N: NewGCounter()} }
+
+// Update implements Object.
+func (PNCounterObject) Update(op model.Op, s Lattice, origin model.NodeID) (Lattice, error) {
+	st := s.(PNCounter)
+	delta := int64(1)
+	if n, ok := op.Arg.AsInt(); ok {
+		delta = n
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("statebased: negative delta %d", delta)
+	}
+	switch op.Name {
+	case "inc":
+		return PNCounter{P: st.P.inc(origin, delta), N: st.N}, nil
+	case "dec":
+		return PNCounter{P: st.P, N: st.N.inc(origin, delta)}, nil
+	default:
+		return nil, ErrUnknownOp
+	}
+}
+
+// Query implements Object.
+func (PNCounterObject) Query(op model.Op, s Lattice) (model.Value, error) {
+	if op.Name != "read" {
+		return model.Nil(), ErrUnknownOp
+	}
+	return model.Int(s.(PNCounter).Value()), nil
+}
+
+// Abs implements Object: the same φ as the op-based counter.
+func (PNCounterObject) Abs(s Lattice) model.Value { return model.Int(s.(PNCounter).Value()) }
+
+// ---------------------------------------------------------------------------
+// G-Set
+// ---------------------------------------------------------------------------
+
+// GSet is the grow-only set lattice: join is union.
+type GSet struct {
+	Elems *model.ValueSet
+}
+
+// NewGSet returns the bottom G-Set.
+func NewGSet() GSet { return GSet{Elems: model.NewValueSet()} }
+
+// Join implements Lattice.
+func (g GSet) Join(other Lattice) Lattice {
+	o := other.(GSet)
+	out := g.Elems.Clone()
+	for _, e := range o.Elems.Elems() {
+		out.Add(e)
+	}
+	return GSet{Elems: out}
+}
+
+// Leq implements Lattice.
+func (g GSet) Leq(other Lattice) bool {
+	o := other.(GSet)
+	for _, e := range g.Elems.Elems() {
+		if !o.Elems.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements Lattice.
+func (g GSet) Key() string { return "gset" + g.Elems.Key() }
+
+// GSetObject is the Object over GSet states with the op-based g-set
+// interface (add/lookup/read).
+type GSetObject struct{}
+
+// Name implements Object.
+func (GSetObject) Name() string { return "g-set(state)" }
+
+// Init implements Object.
+func (GSetObject) Init() Lattice { return NewGSet() }
+
+// Update implements Object.
+func (GSetObject) Update(op model.Op, s Lattice, origin model.NodeID) (Lattice, error) {
+	if op.Name != "add" {
+		return nil, ErrUnknownOp
+	}
+	st := s.(GSet)
+	out := st.Elems.Clone()
+	out.Add(op.Arg)
+	return GSet{Elems: out}, nil
+}
+
+// Query implements Object.
+func (GSetObject) Query(op model.Op, s Lattice) (model.Value, error) {
+	st := s.(GSet)
+	switch op.Name {
+	case "lookup":
+		return model.Bool(st.Elems.Has(op.Arg)), nil
+	case "read":
+		return model.List(st.Elems.Elems()...), nil
+	default:
+		return model.Nil(), ErrUnknownOp
+	}
+}
+
+// Abs implements Object.
+func (GSetObject) Abs(s Lattice) model.Value {
+	return model.List(s.(GSet).Elems.Elems()...)
+}
+
+// ---------------------------------------------------------------------------
+// LWW register
+// ---------------------------------------------------------------------------
+
+// LWWReg is the state-based last-writer-wins register: the join keeps the
+// entry with the larger stamp.
+type LWWReg struct {
+	Val model.Value
+	TS  model.Stamp
+}
+
+// Join implements Lattice.
+func (r LWWReg) Join(other Lattice) Lattice {
+	o := other.(LWWReg)
+	if r.TS.Less(o.TS) {
+		return o
+	}
+	return r
+}
+
+// Leq implements Lattice.
+func (r LWWReg) Leq(other Lattice) bool {
+	o := other.(LWWReg)
+	return r.TS.Less(o.TS) || r.TS == o.TS
+}
+
+// Key implements Lattice.
+func (r LWWReg) Key() string { return fmt.Sprintf("lww{%s@%s}", r.Val, r.TS) }
+
+// LWWRegObject is the Object over LWWReg states (write/read).
+type LWWRegObject struct{}
+
+// Name implements Object.
+func (LWWRegObject) Name() string { return "lww-register(state)" }
+
+// Init implements Object.
+func (LWWRegObject) Init() Lattice { return LWWReg{Val: model.Nil()} }
+
+// Update implements Object.
+func (LWWRegObject) Update(op model.Op, s Lattice, origin model.NodeID) (Lattice, error) {
+	if op.Name != "write" {
+		return nil, ErrUnknownOp
+	}
+	st := s.(LWWReg)
+	return LWWReg{Val: op.Arg, TS: st.TS.Next(origin)}, nil
+}
+
+// Query implements Object.
+func (LWWRegObject) Query(op model.Op, s Lattice) (model.Value, error) {
+	if op.Name != "read" {
+		return model.Nil(), ErrUnknownOp
+	}
+	return s.(LWWReg).Val, nil
+}
+
+// Abs implements Object.
+func (LWWRegObject) Abs(s Lattice) model.Value { return s.(LWWReg).Val }
+
+// ---------------------------------------------------------------------------
+// Gossip cluster
+// ---------------------------------------------------------------------------
+
+// Cluster is a state-based replicated system with anti-entropy by full-state
+// merge.
+type Cluster struct {
+	obj    Object
+	states []Lattice
+	merges int
+}
+
+// NewCluster creates n replicas at bottom.
+func NewCluster(obj Object, n int) *Cluster {
+	c := &Cluster{obj: obj}
+	for i := 0; i < n; i++ {
+		c.states = append(c.states, obj.Init())
+	}
+	return c
+}
+
+// N returns the number of replicas.
+func (c *Cluster) N() int { return len(c.states) }
+
+// StateOf returns replica t's state.
+func (c *Cluster) StateOf(t model.NodeID) Lattice { return c.states[t] }
+
+// Update applies a mutating operation at replica t, enforcing monotonicity.
+func (c *Cluster) Update(t model.NodeID, op model.Op) error {
+	next, err := c.obj.Update(op, c.states[t], t)
+	if err != nil {
+		return err
+	}
+	if !c.states[t].Leq(next) {
+		return fmt.Errorf("statebased: update %s is not monotone at %s", op, t)
+	}
+	c.states[t] = next
+	return nil
+}
+
+// Query evaluates a read-only operation at replica t.
+func (c *Cluster) Query(t model.NodeID, op model.Op) (model.Value, error) {
+	return c.obj.Query(op, c.states[t])
+}
+
+// Gossip merges src's state into dst (anti-entropy step).
+func (c *Cluster) Gossip(src, dst model.NodeID) {
+	c.states[dst] = c.states[dst].Join(c.states[src])
+	c.merges++
+}
+
+// GossipRandom performs one random anti-entropy step.
+func (c *Cluster) GossipRandom(rng *rand.Rand) {
+	src := model.NodeID(rng.Intn(len(c.states)))
+	dst := model.NodeID(rng.Intn(len(c.states)))
+	if src != dst {
+		c.Gossip(src, dst)
+	}
+}
+
+// GossipAll runs rounds of all-pairs merges until a fixpoint (guaranteed by
+// lattice ascent).
+func (c *Cluster) GossipAll() {
+	for {
+		changed := false
+		for i := range c.states {
+			for j := range c.states {
+				if i == j {
+					continue
+				}
+				next := c.states[j].Join(c.states[i])
+				if next.Key() != c.states[j].Key() {
+					c.states[j] = next
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// Merges reports the number of anti-entropy steps performed.
+func (c *Cluster) Merges() int { return c.merges }
+
+// Converged reports whether all replicas map to the same abstract value.
+func (c *Cluster) Converged() (model.Value, bool) {
+	ref := c.obj.Abs(c.states[0])
+	for _, s := range c.states[1:] {
+		if !c.obj.Abs(s).Equal(ref) {
+			return model.Nil(), false
+		}
+	}
+	return ref, true
+}

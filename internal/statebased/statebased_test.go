@@ -1,0 +1,216 @@
+package statebased
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crdts/counter"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// genGCounter builds a random G-Counter over up to 4 nodes.
+func genGCounter(r *rand.Rand) GCounter {
+	g := NewGCounter()
+	for n := 0; n < 4; n++ {
+		if r.Intn(2) == 0 {
+			g.Counts[model.NodeID(n)] = int64(r.Intn(10))
+		}
+	}
+	return g
+}
+
+// TestLatticeLaws property-checks the join-semilattice laws — commutativity,
+// associativity, idempotence, and that the join is an upper bound — for all
+// three lattices.
+func TestLatticeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := func(i int) []Lattice {
+		switch i {
+		case 0:
+			return []Lattice{genGCounter(rng), genGCounter(rng), genGCounter(rng)}
+		case 1:
+			return []Lattice{
+				PNCounter{P: genGCounter(rng), N: genGCounter(rng)},
+				PNCounter{P: genGCounter(rng), N: genGCounter(rng)},
+				PNCounter{P: genGCounter(rng), N: genGCounter(rng)},
+			}
+		default:
+			mk := func() Lattice {
+				g := NewGSet()
+				for _, e := range []string{"a", "b", "c", "d"} {
+					if rng.Intn(2) == 0 {
+						g.Elems.Add(model.Str(e))
+					}
+				}
+				return g
+			}
+			return []Lattice{mk(), mk(), mk()}
+		}
+	}
+	for round := 0; round < 200; round++ {
+		for kind := 0; kind < 3; kind++ {
+			ls := sample(kind)
+			a, b, c := ls[0], ls[1], ls[2]
+			if a.Join(b).Key() != b.Join(a).Key() {
+				t.Fatalf("join not commutative: %s vs %s", a.Key(), b.Key())
+			}
+			if a.Join(b.Join(c)).Key() != a.Join(b).Join(c).Key() {
+				t.Fatalf("join not associative")
+			}
+			if a.Join(a).Key() != a.Key() {
+				t.Fatalf("join not idempotent: %s", a.Key())
+			}
+			if !a.Leq(a.Join(b)) || !b.Leq(a.Join(b)) {
+				t.Fatalf("join not an upper bound")
+			}
+		}
+	}
+}
+
+// TestGCounterSumMonotone: quick-checked monotonicity of increments.
+func TestGCounterSumMonotone(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		g := NewGCounter()
+		var want int64
+		for i, d := range deltas {
+			g = g.inc(model.NodeID(i%3), int64(d))
+			want += int64(d)
+		}
+		return g.Sum() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPNCounterGossipConvergence: random updates + random gossip; after a
+// full anti-entropy round all replicas agree on the sum of all updates.
+func TestPNCounterGossipConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCluster(PNCounterObject{}, 3)
+		var want int64
+		for i := 0; i < 40; i++ {
+			node := model.NodeID(rng.Intn(3))
+			delta := int64(1 + rng.Intn(4))
+			name := model.OpName("inc")
+			if rng.Intn(3) == 0 {
+				name = "dec"
+				want -= delta
+			} else {
+				want += delta
+			}
+			if err := c.Update(node, model.Op{Name: name, Arg: model.Int(delta)}); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				c.GossipRandom(rng)
+			}
+		}
+		c.GossipAll()
+		abs, ok := c.Converged()
+		if !ok {
+			t.Fatalf("seed %d: diverged", seed)
+		}
+		if !abs.Equal(model.Int(want)) {
+			t.Fatalf("seed %d: converged to %s, want %d", seed, abs, want)
+		}
+	}
+}
+
+// TestGossipIdempotentUnderRedelivery: re-merging the same state any number
+// of times is harmless — the state-based analogue of at-most-once delivery
+// being unnecessary.
+func TestGossipIdempotentUnderRedelivery(t *testing.T) {
+	c := NewCluster(GSetObject{}, 2)
+	if err := c.Update(0, model.Op{Name: "add", Arg: model.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	c.Gossip(0, 1)
+	before := c.StateOf(1).Key()
+	for i := 0; i < 5; i++ {
+		c.Gossip(0, 1)
+	}
+	if c.StateOf(1).Key() != before {
+		t.Fatal("redelivered merge changed the state")
+	}
+	if c.Merges() != 6 {
+		t.Fatalf("merges = %d", c.Merges())
+	}
+}
+
+// TestLWWRegConvergence: concurrent writes resolve by stamp everywhere.
+func TestLWWRegConvergence(t *testing.T) {
+	c := NewCluster(LWWRegObject{}, 2)
+	if err := c.Update(0, model.Op{Name: "write", Arg: model.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(1, model.Op{Name: "write", Arg: model.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	c.GossipAll()
+	abs, ok := c.Converged()
+	if !ok {
+		t.Fatal("diverged")
+	}
+	if !abs.Equal(model.Int(2)) { // stamps tie on counter, node 1 wins
+		t.Fatalf("converged to %s", abs)
+	}
+	got, err := c.Query(0, model.Op{Name: "read"})
+	if err != nil || !got.Equal(model.Int(2)) {
+		t.Fatalf("read = %s, %v", got, err)
+	}
+}
+
+// TestUpdateErrors: out-of-domain and non-monotone updates are rejected.
+func TestUpdateErrors(t *testing.T) {
+	c := NewCluster(PNCounterObject{}, 1)
+	if err := c.Update(0, model.Op{Name: "frobnicate"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := c.Update(0, model.Op{Name: "inc", Arg: model.Int(-3)}); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := c.Query(0, model.Op{Name: "pop"}); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+// TestStateBasedAgreesWithOpBased runs the same increment/decrement workload
+// through the op-based counter (effector broadcast) and the state-based
+// PN-counter (gossip); after full propagation both abstractions agree —
+// the two styles implement the same abstract object.
+func TestStateBasedAgreesWithOpBased(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		opc := sim.NewCluster(counter.New(), 3)
+		stc := NewCluster(PNCounterObject{}, 3)
+		for i := 0; i < 30; i++ {
+			node := model.NodeID(rng.Intn(3))
+			name := spec.OpInc
+			if rng.Intn(3) == 0 {
+				name = spec.OpDec
+			}
+			op := model.Op{Name: name, Arg: model.Int(int64(1 + rng.Intn(3)))}
+			if _, _, err := opc.Invoke(node, op); err != nil {
+				t.Fatal(err)
+			}
+			if err := stc.Update(node, op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opc.DeliverAll()
+		stc.GossipAll()
+		opAbs, ok1 := opc.Converged(counter.Abs)
+		stAbs, ok2 := stc.Converged()
+		if !ok1 || !ok2 {
+			t.Fatalf("seed %d: convergence failed (%v, %v)", seed, ok1, ok2)
+		}
+		if !opAbs.Equal(stAbs) {
+			t.Fatalf("seed %d: op-based %s vs state-based %s", seed, opAbs, stAbs)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Render draws the trace as an ASCII timeline in the style of the paper's
+// figures: one row per node, one column per event, origin events marked with
+// ● and effector deliveries with ↓.
+//
+//	t0 │ ●m1 addAfter((◦, a))              ↓m2
+//	t1 │                    ●m2 read() …
+func Render(tr Trace) string {
+	nodes := tr.Nodes()
+	if len(nodes) == 0 {
+		return "(empty trace)"
+	}
+	row := map[int]int{}
+	for i, t := range nodes {
+		row[int(t)] = i
+	}
+	cells := make([][]string, len(nodes))
+	for i := range cells {
+		cells[i] = make([]string, len(tr))
+	}
+	widths := make([]int, len(tr))
+	for col, e := range tr {
+		var label string
+		if e.IsOrigin {
+			if e.Ret.IsNil() {
+				label = fmt.Sprintf("●%s %s", e.MID, e.Op)
+			} else {
+				label = fmt.Sprintf("●%s %s=%s", e.MID, e.Op, e.Ret)
+			}
+		} else {
+			label = fmt.Sprintf("↓%s", e.MID)
+		}
+		cells[row[int(e.Node)]][col] = label
+		widths[col] = utf8.RuneCountInString(label)
+	}
+	var b strings.Builder
+	for i, t := range nodes {
+		fmt.Fprintf(&b, "%s │", t)
+		for col := range tr {
+			b.WriteByte(' ')
+			cell := cells[i][col]
+			b.WriteString(cell)
+			for pad := utf8.RuneCountInString(cell); pad < widths[col]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

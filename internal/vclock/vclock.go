@@ -1,0 +1,146 @@
+// Package vclock implements vector clocks: the standard causality-tracking
+// device for distributed executions. The framework's trace layer derives
+// happens-before directly from event visibility (Sec 3); vector clocks
+// provide the same partial order from per-node counters, and the test suite
+// cross-validates the two derivations against each other on randomized
+// traces — a strong internal consistency check on the causality machinery
+// both ACC and causal delivery depend on.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// VC is a vector clock: per-node event counters. The zero map is the bottom
+// clock; VCs are treated as immutable (operations return fresh clocks).
+type VC map[model.NodeID]int64
+
+// New returns the bottom clock.
+func New() VC { return VC{} }
+
+// Clone copies the clock.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for n, c := range v {
+		out[n] = c
+	}
+	return out
+}
+
+// Tick returns v advanced by one at node t.
+func (v VC) Tick(t model.NodeID) VC {
+	out := v.Clone()
+	out[t]++
+	return out
+}
+
+// Merge returns the pointwise maximum of v and u.
+func (v VC) Merge(u VC) VC {
+	out := v.Clone()
+	for n, c := range u {
+		if c > out[n] {
+			out[n] = c
+		}
+	}
+	return out
+}
+
+// Leq reports v ≤ u pointwise.
+func (v VC) Leq(u VC) bool {
+	for n, c := range v {
+		if c > u[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordering is the outcome of comparing two clocks.
+type Ordering int
+
+// The possible orderings.
+const (
+	Equal Ordering = iota
+	Before
+	After
+	Concurrent
+)
+
+// Compare classifies the causal relation between two clocks.
+func (v VC) Compare(u VC) Ordering {
+	le, ge := v.Leq(u), u.Leq(v)
+	switch {
+	case le && ge:
+		return Equal
+	case le:
+		return Before
+	case ge:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// String renders the clock canonically.
+func (v VC) String() string {
+	nodes := make([]int, 0, len(v))
+	for n := range v {
+		if v[n] != 0 {
+			nodes = append(nodes, int(n))
+		}
+	}
+	sort.Ints(nodes)
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = fmt.Sprintf("%s:%d", model.NodeID(n), v[model.NodeID(n)])
+	}
+	return "⟨" + strings.Join(parts, " ") + "⟩"
+}
+
+// Stamp replays a trace and assigns every origin event the vector clock of
+// its issue point: the issuing node's clock after having merged the clocks
+// of everything delivered so far, ticked at the issuing node. Two origin
+// events are then causally ordered iff their clocks are.
+func Stamp(tr trace.Trace) map[model.MsgID]VC {
+	nodeClock := map[model.NodeID]VC{}
+	eventClock := map[model.MsgID]VC{}
+	out := map[model.MsgID]VC{}
+	for _, e := range tr {
+		cur, ok := nodeClock[e.Node]
+		if !ok {
+			cur = New()
+		}
+		if e.IsOrigin {
+			next := cur.Tick(e.Node)
+			out[e.MID] = next
+			// Queries are never delivered elsewhere, but their clock still
+			// orders later local events, matching visibility-based hb.
+			eventClock[e.MID] = next
+			nodeClock[e.Node] = next
+		} else {
+			nodeClock[e.Node] = cur.Merge(eventClock[e.MID])
+		}
+	}
+	return out
+}
+
+// HappensBefore derives the happens-before relation from the stamped clocks,
+// in the same shape as trace.HappensBefore: mid ↦ set of mids before it.
+func HappensBefore(tr trace.Trace) map[model.MsgID]map[model.MsgID]bool {
+	clocks := Stamp(tr)
+	out := map[model.MsgID]map[model.MsgID]bool{}
+	for a, ca := range clocks {
+		out[a] = map[model.MsgID]bool{}
+		for b, cb := range clocks {
+			if a != b && cb.Compare(ca) == Before {
+				out[a][b] = true
+			}
+		}
+	}
+	return out
+}

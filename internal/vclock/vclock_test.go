@@ -1,0 +1,129 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestBasicOps(t *testing.T) {
+	v := New().Tick(0).Tick(0).Tick(1)
+	if v[0] != 2 || v[1] != 1 {
+		t.Fatalf("v = %v", v)
+	}
+	u := New().Tick(2)
+	m := v.Merge(u)
+	if m[0] != 2 || m[2] != 1 {
+		t.Fatalf("m = %v", m)
+	}
+	if !v.Leq(m) || !u.Leq(m) {
+		t.Error("merge must be an upper bound")
+	}
+	if m.Leq(v) {
+		t.Error("Leq wrong")
+	}
+	// Clone independence.
+	c := v.Clone()
+	c[9] = 5
+	if v[9] != 0 {
+		t.Error("Clone shares storage")
+	}
+	if v.String() != "⟨t0:2 t1:1⟩" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := New().Tick(0)
+	b := a.Tick(0)
+	c := New().Tick(1)
+	cases := []struct {
+		x, y VC
+		want Ordering
+	}{
+		{a, a, Equal},
+		{a, b, Before},
+		{b, a, After},
+		{a, c, Concurrent},
+		{c, a, Concurrent},
+	}
+	for _, cse := range cases {
+		if got := cse.x.Compare(cse.y); got != cse.want {
+			t.Errorf("Compare(%s, %s) = %v, want %v", cse.x, cse.y, got, cse.want)
+		}
+	}
+}
+
+// TestAgreesWithVisibilityHB is the cross-validation: on randomized traces
+// of every algorithm, the happens-before relation derived from vector clocks
+// equals the one the trace layer derives from event visibility.
+func TestAgreesWithVisibilityHB(t *testing.T) {
+	for _, alg := range registry.All() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				w := sim.Workload{
+					Object: alg.New(), Abs: alg.Abs, Gen: sim.GenFunc(alg.GenOp),
+					Nodes: 3, Steps: 40, Causal: alg.NeedsCausal,
+				}
+				tr := w.Run(seed).Trace()
+				want := tr.HappensBefore()
+				got := HappensBefore(tr)
+				if err := sameHB(want, got); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, trace.Render(tr))
+				}
+			}
+		})
+	}
+}
+
+func sameHB(a, b map[model.MsgID]map[model.MsgID]bool) error {
+	for mid, before := range a {
+		for p := range before {
+			if !b[mid][p] {
+				return fmt.Errorf("visibility says %s → %s, vector clocks disagree", p, mid)
+			}
+		}
+	}
+	for mid, before := range b {
+		for p := range before {
+			if !a[mid][p] {
+				return fmt.Errorf("vector clocks say %s → %s, visibility disagrees", p, mid)
+			}
+		}
+	}
+	return nil
+}
+
+// TestStampConcurrencyMatchesTrace: the Concurrent classifications agree too.
+func TestStampConcurrencyMatchesTrace(t *testing.T) {
+	alg := registry.GSet()
+	c := sim.NewCluster(alg.New(), 2)
+	add := func(node model.NodeID, e string) model.MsgID {
+		_, mid, err := c.Invoke(node, model.Op{Name: "add", Arg: model.Str(e)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mid
+	}
+	m1 := add(0, "a")
+	m2 := add(1, "b") // concurrent with m1
+	if err := c.Deliver(1, m1); err != nil {
+		t.Fatal(err)
+	}
+	m3 := add(1, "c") // after both
+	_ = m3
+	tr := c.Trace()
+	clocks := Stamp(tr)
+	hb := tr.HappensBefore()
+	if clocks[m1].Compare(clocks[m2]) != Concurrent || !trace.Concurrent(hb, m1, m2) {
+		t.Error("m1 and m2 must be concurrent in both derivations")
+	}
+	if clocks[m1].Compare(clocks[m3]) != Before || !hb[m3][m1] {
+		t.Error("m1 must precede m3 in both derivations")
+	}
+}
