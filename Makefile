@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain `go` —
 # these just bundle the invocations the docs mention.
 
-.PHONY: all build test soak bench repro examples fmt vet
+.PHONY: all build test short race ci soak bench bench-md repro examples fmt vet
 
 all: build vet test
 
@@ -20,6 +20,18 @@ test:
 # Short mode skips the 5-node/300-step soak runs.
 short:
 	go test -short ./...
+
+# Race-detector pass over the short suite (the parallel explorer and the
+# concurrent ACC/XACC candidate enumeration run under it).
+race:
+	go test -short -race ./...
+
+# Mirror of the CI workflow's push/PR job (.github/workflows/ci.yml).
+ci:
+	go build ./...
+	go vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	go test -short -race ./...
 
 soak:
 	go test -run TestSoak ./internal/conformance/

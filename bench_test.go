@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/absmachine"
@@ -497,6 +498,45 @@ func BenchmarkExecRelated_Ablation(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkExploreParallel compares the sequential schedule explorer against
+// the parallel engine on a 3-node, 8-op counter script. The three leading
+// reads produce identity effectors (never broadcast), which keeps the
+// interleaving space tractable while the five-increment tail gives the
+// commutativity reduction a long drain phase to prune; the sequential
+// explorer walks the same graph unreduced.
+func BenchmarkExploreParallel(b *testing.B) {
+	alg := registry.Counter()
+	script := sim.Script{
+		{Node: 0, Op: model.Op{Name: spec.OpRead}},
+		{Node: 1, Op: model.Op{Name: spec.OpRead}},
+		{Node: 2, Op: model.Op{Name: spec.OpRead}},
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}},
+		{Node: 1, Op: model.Op{Name: spec.OpInc, Arg: model.Int(2)}},
+		{Node: 2, Op: model.Op{Name: spec.OpInc, Arg: model.Int(3)}},
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(4)}},
+		{Node: 1, Op: model.Op{Name: spec.OpInc, Arg: model.Int(5)}},
+	}
+	const budget = 20_000_000
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.ExploreSchedules(alg.New(), 3, script, false, budget, func(*sim.Cluster) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sim.ExploreSchedulesParallel(alg.New(), 3, script, false,
+					sim.ParallelConfig{Workers: workers, MaxStates: budget}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,9 +3,14 @@
 // UCR algorithms — via the ↣-derived witness or the complete bounded search —
 // and XACC (Def 9) for the X-wins sets.
 //
+// The explore mode instead decides SEC over *every* delivery interleaving of
+// short generated scripts, using the parallel schedule-exploration engine
+// (sim.ExploreSchedulesParallel) with its commutativity reduction.
+//
 // Usage:
 //
 //	acc-check -algo rga -seeds 20 -steps 30 [-mode witness|exhaustive]
+//	acc-check -algo pn-counter -mode explore -workers 4 -stats
 //	acc-check -algo rga -save failing.json     # save the first failing schedule
 //	acc-check -replay failing.json             # re-check a saved schedule
 package main
@@ -25,13 +30,15 @@ import (
 
 func main() {
 	var (
-		algo   = flag.String("algo", "rga", "algorithm name, or 'all'")
-		nodes  = flag.Int("nodes", 3, "cluster size")
-		steps  = flag.Int("steps", 30, "scheduler steps per run")
-		seeds  = flag.Int("seeds", 20, "number of randomized runs")
-		mode   = flag.String("mode", "witness", "witness (scales) or exhaustive (complete, small traces)")
-		save   = flag.String("save", "", "write the first failing schedule (or, if none fails, the first schedule) to this file")
-		replay = flag.String("replay", "", "re-check a schedule saved with -save instead of generating traces")
+		algo    = flag.String("algo", "rga", "algorithm name, or 'all'")
+		nodes   = flag.Int("nodes", 3, "cluster size")
+		steps   = flag.Int("steps", 30, "scheduler steps per run")
+		seeds   = flag.Int("seeds", 20, "number of randomized runs")
+		mode    = flag.String("mode", "witness", "witness (scales), exhaustive (complete, small traces) or explore (all interleavings, parallel)")
+		workers = flag.Int("workers", 0, "explorer workers for -mode explore (0 = GOMAXPROCS)")
+		stats   = flag.Bool("stats", false, "print explorer statistics (explore mode)")
+		save    = flag.String("save", "", "write the first failing schedule (or, if none fails, the first schedule) to this file")
+		replay  = flag.String("replay", "", "re-check a schedule saved with -save instead of generating traces")
 	)
 	flag.Parse()
 	if *replay != "" {
@@ -49,11 +56,60 @@ func main() {
 	}
 	failures := 0
 	for _, alg := range algs {
-		failures += check(alg, *nodes, *steps, *seeds, *mode)
+		if *mode == "explore" {
+			failures += explore(alg, *nodes, *steps, *seeds, *workers, *stats)
+		} else {
+			failures += check(alg, *nodes, *steps, *seeds, *mode)
+		}
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// explore decides SEC over every delivery interleaving of short generated
+// scripts using the parallel exploration engine.
+func explore(alg registry.Algorithm, nodes, steps, seeds, workers int, showStats bool) int {
+	ops := steps
+	if ops > 6 {
+		ops = 6 // complete interleaving exploration needs short scripts
+	}
+	fmt.Printf("%-14s %-5s mode=%-10s nodes=%d ops=%d: ", alg.Name, "SEC", "explore", nodes, ops)
+	failures, checked := 0, 0
+	var agg sim.ExploreStats
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		_, st, err := sim.ExploreSchedulesParallel(alg.New(), nodes, script, alg.NeedsCausal,
+			sim.ParallelConfig{Workers: workers}, func(c *sim.Cluster) error {
+				if _, ok := c.Converged(alg.Abs); !ok {
+					return fmt.Errorf("replicas diverged at quiescence")
+				}
+				return nil
+			})
+		switch {
+		case err == nil:
+			checked++
+		default:
+			failures++
+			fmt.Printf("\n  seed %d: SEC FAILS: %v\n", seed, err)
+		}
+		agg.States += st.States
+		agg.Terminals += st.Terminals
+		agg.Deduped += st.Deduped
+		agg.Pruned += st.Pruned
+		agg.Revisits += st.Revisits
+		if st.PeakFrontier > agg.PeakFrontier {
+			agg.PeakFrontier = st.PeakFrontier
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("%d/%d scripts satisfy SEC on every schedule\n", checked, seeds)
+	}
+	if showStats {
+		fmt.Printf("  explorer: states=%d terminals=%d deduped=%d pruned=%d revisits=%d peak-frontier=%d\n",
+			agg.States, agg.Terminals, agg.Deduped, agg.Pruned, agg.Revisits, agg.PeakFrontier)
+	}
+	return failures
 }
 
 func check(alg registry.Algorithm, nodes, steps, seeds int, mode string) int {

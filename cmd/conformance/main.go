@@ -19,13 +19,14 @@ import (
 
 func main() {
 	var (
-		algo   = flag.String("algo", "all", "algorithm name, or 'all'")
-		seeds  = flag.Int("seeds", 8, "randomized traces per check")
-		steps  = flag.Int("steps", 40, "scheduler steps per trace")
-		client = flag.String("client", "", "client program for the refinement check")
+		algo    = flag.String("algo", "all", "algorithm name, or 'all'")
+		seeds   = flag.Int("seeds", 8, "randomized traces per check")
+		steps   = flag.Int("steps", 40, "scheduler steps per trace")
+		workers = flag.Int("workers", 0, "workers for the parallel exploration check (0 = GOMAXPROCS)")
+		client  = flag.String("client", "", "client program for the refinement check")
 	)
 	flag.Parse()
-	cfg := conformance.Config{Seeds: *seeds, Steps: *steps, Client: *client}
+	cfg := conformance.Config{Seeds: *seeds, Steps: *steps, Workers: *workers, Client: *client}
 	var reports []conformance.Report
 	if *algo == "all" {
 		reports = conformance.RunAll(cfg)

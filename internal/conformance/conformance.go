@@ -36,6 +36,9 @@ type Config struct {
 	Steps int
 	// Nodes is the cluster size for long traces (default 3).
 	Nodes int
+	// Workers is the worker count for the parallel schedule-exploration
+	// check (default: sim picks GOMAXPROCS).
+	Workers int
 	// Client, when non-empty, is a client program source checked for
 	// contextual refinement against the abstract machine.
 	Client string
@@ -91,7 +94,7 @@ func (r Report) String() string {
 		case c.Skipped != "":
 			status = "skipped: " + c.Skipped
 		}
-		fmt.Fprintf(&b, "  %-28s %s\n", c.Name, status)
+		fmt.Fprintf(&b, "  %-30s %s\n", c.Name, status)
 	}
 	return b.String()
 }
@@ -131,7 +134,12 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// 4. Complete bounded decisions.
 	add("exhaustive bounded decision", traceChecks(alg, cfg, true))
 
-	// 5. Client refinement.
+	// 5. Exhaustive schedule exploration: every delivery interleaving of a
+	// small generated script converges, decided by the parallel explorer and
+	// cross-checked against the sequential oracle.
+	add("parallel schedule exploration", exploreChecks(alg, cfg))
+
+	// 6. Client refinement.
 	if cfg.Client == "" {
 		skip("contextual refinement (Thm 7)", "no client program supplied")
 	} else {
@@ -180,6 +188,49 @@ func traceChecks(alg registry.Algorithm, cfg Config, exhaustive bool) error {
 		}
 		if err := core.CheckConvergenceFrom(tr, alg.New().Init(), alg.Abs); err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}
+
+// exploreChecks runs the parallel schedule explorer over every delivery
+// interleaving of small generated scripts, requiring convergence at each
+// terminal state (SEC, universally quantified over schedules) and exactly the
+// terminal-state set the sequential oracle reaches.
+func exploreChecks(alg registry.Algorithm, cfg Config) error {
+	const nodes, ops = 2, 4 // complete exploration needs small scripts
+	seeds := cfg.Seeds
+	if seeds > 3 {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		want := map[string]bool{}
+		if _, err := sim.ExploreSchedules(alg.New(), nodes, script, alg.NeedsCausal, 0, func(c *sim.Cluster) error {
+			want[c.Key()] = true
+			return nil
+		}); err != nil {
+			return fmt.Errorf("seed %d: sequential oracle: %w", seed, err)
+		}
+		got := map[string]bool{}
+		_, _, err := sim.ExploreSchedulesParallel(alg.New(), nodes, script, alg.NeedsCausal,
+			sim.ParallelConfig{Workers: cfg.Workers}, func(c *sim.Cluster) error {
+				if _, ok := c.Converged(alg.Abs); !ok {
+					return fmt.Errorf("replicas diverged at quiescence")
+				}
+				got[c.Key()] = true
+				return nil
+			})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("seed %d: parallel explorer reached %d terminal states, oracle %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				return fmt.Errorf("seed %d: parallel explorer missed a terminal state of the oracle", seed)
+			}
 		}
 	}
 	return nil

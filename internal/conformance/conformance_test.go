@@ -12,7 +12,9 @@ import (
 )
 
 // TestAllAlgorithmsConform: the full battery passes for all nine algorithms,
-// with the applicable client programs.
+// with the applicable client programs. The battery has 8 checks: spec
+// well-formedness (×3), CRDT-TS obligations, witness + SEC, exhaustive
+// bounded decision, parallel schedule exploration, and client refinement.
 func TestAllAlgorithmsConform(t *testing.T) {
 	clients := map[string]string{
 		"counter":  `node t1 { inc(1); x := read(); } node t2 { dec(1); y := read(); }`,
@@ -30,8 +32,8 @@ func TestAllAlgorithmsConform(t *testing.T) {
 			if err := rep.Err(); err != nil {
 				t.Fatalf("%v\n%s", err, rep)
 			}
-			if len(rep.Checks) != 7 {
-				t.Fatalf("checks = %d, want 7", len(rep.Checks))
+			if len(rep.Checks) != 8 {
+				t.Fatalf("checks = %d, want 8", len(rep.Checks))
 			}
 		})
 	}

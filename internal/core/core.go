@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/crdt"
 	"repro/internal/model"
@@ -80,16 +81,28 @@ func CheckACC(tr trace.Trace, p Problem) (Result, error) {
 		return Result{}, err
 	}
 	nodes := tr.Nodes()
+	// The per-node candidate enumerations are independent (the trace and
+	// problem are only read), so run them concurrently; errors and empty
+	// candidate sets are reported in node order so the outcome is
+	// deterministic regardless of scheduling.
 	cands := make([][]Order, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
 	for i, t := range nodes {
-		c, err := candidateOrders(tr, t, p)
-		if err != nil {
-			return Result{}, err
+		wg.Add(1)
+		go func(i int, t model.NodeID) {
+			defer wg.Done()
+			cands[i], errs[i] = candidateOrders(tr, t, p)
+		}(i, t)
+	}
+	wg.Wait()
+	for i, t := range nodes {
+		if errs[i] != nil {
+			return Result{}, errs[i]
 		}
-		if len(c) == 0 {
+		if len(cands[i]) == 0 {
 			return Result{Reason: fmt.Sprintf("node %s: no arbitration order extends visibility and satisfies ExecRelated", t)}, nil
 		}
-		cands[i] = c
 	}
 	ops := originOps(tr)
 	chosen := make([]Order, len(nodes))

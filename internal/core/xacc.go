@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/spec"
@@ -33,18 +34,31 @@ func CheckXACC(tr trace.Trace, p XProblem) (Result, error) {
 	hb := tr.HappensBefore()
 	nodes := tr.Nodes()
 	ops := originOps(tr)
+	// Candidate enumeration and nc-vis snapshots are per-node and read-only
+	// over the trace, so run the nodes concurrently; errors and empty
+	// candidate sets are reported in node order for determinism.
 	cands := make([][]Order, len(nodes))
 	ncp := make([]map[[2]model.MsgID]bool, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
 	for i, t := range nodes {
-		c, err := xCandidateOrders(tr, t, p, hb)
-		if err != nil {
-			return Result{}, err
+		wg.Add(1)
+		go func(i int, t model.NodeID) {
+			defer wg.Done()
+			cands[i], errs[i] = xCandidateOrders(tr, t, p, hb)
+			if errs[i] == nil {
+				ncp[i] = ncVisPairs(tr, t, p.XSpec, ops, hb)
+			}
+		}(i, t)
+	}
+	wg.Wait()
+	for i, t := range nodes {
+		if errs[i] != nil {
+			return Result{}, errs[i]
 		}
-		if len(c) == 0 {
+		if len(cands[i]) == 0 {
 			return Result{Reason: fmt.Sprintf("node %s: no arbitration order extends visibility, respects PresvCancel and satisfies ExecRelated", t)}, nil
 		}
-		cands[i] = c
-		ncp[i] = ncVisPairs(tr, t, p.XSpec, ops, hb)
 	}
 	chosen := make([]Order, len(nodes))
 	var pick func(i int) bool

@@ -11,10 +11,9 @@ import (
 	"repro/internal/spec"
 )
 
-// TestExploreSchedulesSEC: for every algorithm, EVERY delivery schedule of a
-// small fixed script converges to the same abstract state at quiescence —
-// the universally quantified SEC property, decided exhaustively.
-func TestExploreSchedulesSEC(t *testing.T) {
+// secScriptFor returns a small fixed per-spec script for alg, shared by the
+// sequential SEC test and the sequential-vs-parallel differential tests.
+func secScriptFor(alg registry.Algorithm) Script {
 	scripts := map[string]Script{
 		"counter": {
 			{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(2)}},
@@ -41,17 +40,21 @@ func TestExploreSchedulesSEC(t *testing.T) {
 			{Node: 0, Op: model.Op{Name: spec.OpAddAfter, Arg: model.Pair(model.Str("a"), model.Str("c"))}},
 		},
 	}
-	scriptFor := func(alg registry.Algorithm) Script {
-		name := alg.Spec.Name()
-		if name == "aw-set" || name == "rw-set" {
-			name = "set"
-		}
-		return scripts[name]
+	name := alg.Spec.Name()
+	if name == "aw-set" || name == "rw-set" {
+		name = "set"
 	}
+	return scripts[name]
+}
+
+// TestExploreSchedulesSEC: for every algorithm, EVERY delivery schedule of a
+// small fixed script converges to the same abstract state at quiescence —
+// the universally quantified SEC property, decided exhaustively.
+func TestExploreSchedulesSEC(t *testing.T) {
 	for _, alg := range registry.All() {
 		alg := alg
 		t.Run(alg.Name, func(t *testing.T) {
-			script := scriptFor(alg)
+			script := secScriptFor(alg)
 			if script == nil {
 				t.Fatalf("no script for %s", alg.Spec.Name())
 			}

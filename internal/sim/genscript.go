@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+)
+
+// GenScript deterministically generates a script of ops operations over a
+// nodes-replica cluster, using gen — the same generator the randomized
+// workloads use. Each candidate operation is validated by invoking it on a
+// scratch cluster that is fully drained after every step, so generator
+// preconditions hold at generation time. During exploration a blocked invoke
+// only waits for deliveries it depends on, which always exist because the
+// explorer drops nothing, so generated scripts cannot deadlock a schedule.
+func GenScript(obj crdt.Object, abs crdt.Abstraction, gen GenFunc, nodes, ops int, seed int64, causal bool) Script {
+	rng := rand.New(rand.NewSource(seed))
+	pool := []model.Value{model.Str("a"), model.Str("b"), model.Str("c")}
+	var opts []Option
+	if causal {
+		opts = append(opts, WithCausalDelivery())
+	}
+	c := NewCluster(obj, nodes, opts...)
+	freshID := 0
+	fresh := func() model.Value {
+		freshID++
+		return model.Str(fmt.Sprintf("x%d", freshID))
+	}
+	var script Script
+	for attempts := 0; len(script) < ops; attempts++ {
+		if attempts > 100*ops {
+			panic(fmt.Sprintf("sim: generator for %s cannot produce %d acceptable operations", obj.Name(), ops))
+		}
+		t := model.NodeID(rng.Intn(nodes))
+		// Rejection-sample operations whose preconditions fail, as the
+		// randomized workloads do.
+		op := gen(rng, c.StateOf(t), abs, pool, fresh)
+		if _, _, err := c.Invoke(t, op); err != nil {
+			if errors.Is(err, crdt.ErrAssume) {
+				continue
+			}
+			panic(err)
+		}
+		c.DeliverAll()
+		script = append(script, ScriptOp{Node: t, Op: op})
+	}
+	return script
+}

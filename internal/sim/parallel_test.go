@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// sequentialTerminalKeys collects the distinct terminal Cluster.Keys the
+// sequential oracle reaches.
+func sequentialTerminalKeys(t *testing.T, alg registry.Algorithm, script Script) map[string]bool {
+	t.Helper()
+	keys := map[string]bool{}
+	_, err := ExploreSchedules(alg.New(), 2, script, alg.NeedsCausal, 0, func(c *Cluster) error {
+		keys[c.Key()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sequential oracle: %v", err)
+	}
+	return keys
+}
+
+// parallelTerminalKeys collects the terminal keys of one parallel run.
+func parallelTerminalKeys(t *testing.T, alg registry.Algorithm, script Script, nodes int, cfg ParallelConfig) (map[string]bool, ExploreStats) {
+	t.Helper()
+	keys := map[string]bool{}
+	terminals, stats, err := ExploreSchedulesParallel(alg.New(), nodes, script, alg.NeedsCausal, cfg, func(c *Cluster) error {
+		keys[c.Key()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("parallel explorer (%+v): %v", cfg, err)
+	}
+	if terminals != len(keys) {
+		t.Fatalf("terminals = %d but %d distinct keys seen by fn", terminals, len(keys))
+	}
+	return keys, stats
+}
+
+func diffKeys(t *testing.T, want, got map[string]bool, label string) {
+	t.Helper()
+	if reflect.DeepEqual(want, got) {
+		return
+	}
+	var missing, extra []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	t.Fatalf("%s: terminal sets differ (want %d, got %d)\nmissing: %v\nextra: %v",
+		label, len(want), len(got), missing, extra)
+}
+
+// TestExploreParallelMatchesSequential is the differential test the engine's
+// soundness rests on: for every registry algorithm — including the causal-
+// delivery X-wins sets, whose scripts must prune nothing unsound — the
+// parallel explorer produces exactly the sequential oracle's set of terminal
+// Cluster.Keys, for worker counts 1, 4 and 8, with and without the
+// commutativity reduction.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	for _, alg := range registry.All() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			script := secScriptFor(alg)
+			if script == nil {
+				t.Fatalf("no script for %s", alg.Spec.Name())
+			}
+			want := sequentialTerminalKeys(t, alg, script)
+			if len(want) == 0 {
+				t.Fatal("oracle reached no terminal states")
+			}
+			for _, workers := range []int{1, 4, 8} {
+				for _, noPrune := range []bool{false, true} {
+					cfg := ParallelConfig{Workers: workers, NoPrune: noPrune}
+					got, stats := parallelTerminalKeys(t, alg, script, 2, cfg)
+					diffKeys(t, want, got, fmt.Sprintf("workers=%d noPrune=%v", workers, noPrune))
+					if !noPrune && stats.Pruned == 0 && stats.States > 20 {
+						t.Errorf("workers=%d: reduction enabled but nothing pruned over %d states", workers, stats.States)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExploreParallelDeterministicAcrossWorkers: terminal counts and state
+// counts are a function of the script, not of scheduling.
+func TestExploreParallelDeterministicAcrossWorkers(t *testing.T) {
+	alg := registry.Counter()
+	script := Script{
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}},
+		{Node: 1, Op: model.Op{Name: spec.OpInc, Arg: model.Int(2)}},
+		{Node: 2, Op: model.Op{Name: spec.OpDec, Arg: model.Int(1)}},
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(4)}},
+	}
+	type outcome struct {
+		terminals int
+		states    int64
+	}
+	var ref *outcome
+	for _, workers := range []int{1, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			terminals, stats, err := ExploreSchedulesParallel(alg.New(), 3, script, false, ParallelConfig{Workers: workers}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := outcome{terminals: terminals, states: stats.States}
+			if ref == nil {
+				ref = &got
+				continue
+			}
+			if got != *ref {
+				t.Fatalf("workers=%d rep=%d: outcome %+v differs from reference %+v", workers, rep, got, *ref)
+			}
+		}
+	}
+}
+
+// TestExploreParallelBudget: the atomic state-budget account is exact — the
+// explorer charges precisely MaxStates states before failing, for any worker
+// count (not MaxStates ± workers) — and budget exhaustion agrees with the
+// sequential oracle on the same graph (pruning disabled; with pruning the
+// graph is smaller by design).
+func TestExploreParallelBudget(t *testing.T) {
+	alg := registry.Counter()
+	var script Script
+	for i := 0; i < 8; i++ {
+		script = append(script, ScriptOp{Node: model.NodeID(i % 3), Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}})
+	}
+	const budget = 50
+	_, seqErr := ExploreSchedules(alg.New(), 3, script, false, budget, func(*Cluster) error { return nil })
+	if !errors.Is(seqErr, ErrScheduleBudget) {
+		t.Fatalf("sequential err = %v, want budget error", seqErr)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		_, stats, err := ExploreSchedulesParallel(alg.New(), 3, script, false,
+			ParallelConfig{Workers: workers, MaxStates: budget, NoPrune: true}, nil)
+		if !errors.Is(err, ErrScheduleBudget) {
+			t.Fatalf("workers=%d: err = %v, want budget error (matching sequential)", workers, err)
+		}
+		if stats.States != budget {
+			t.Fatalf("workers=%d: charged %d states, want exactly %d", workers, stats.States, budget)
+		}
+	}
+	// A budget that covers the full graph exactly must never trip, for any
+	// worker count (a ±workers accounting slop would trip it spuriously).
+	small := script[:4]
+	full, fullStats, err := ExploreSchedulesParallel(alg.New(), 3, small, false,
+		ParallelConfig{Workers: 4, MaxStates: 20_000_000, NoPrune: true}, nil)
+	if err != nil {
+		t.Fatalf("uncapped run: %v", err)
+	}
+	for _, workers := range []int{1, 8} {
+		n, stats, err := ExploreSchedulesParallel(alg.New(), 3, small, false,
+			ParallelConfig{Workers: workers, MaxStates: int(fullStats.States), NoPrune: true}, nil)
+		if err != nil || n != full {
+			t.Fatalf("workers=%d: exact-budget run: n=%d err=%v, want n=%d err=nil", workers, n, err, full)
+		}
+		if stats.States != fullStats.States {
+			t.Fatalf("workers=%d: states=%d, want %d", workers, stats.States, fullStats.States)
+		}
+	}
+}
+
+// TestExploreParallelCallbackErrorAborts: an error from fn stops all workers
+// promptly — well before the state space is exhausted — and surfaces wrapped
+// in ErrExploreAborted.
+func TestExploreParallelCallbackErrorAborts(t *testing.T) {
+	alg := registry.Counter()
+	var script Script
+	for i := 0; i < 5; i++ {
+		script = append(script, ScriptOp{Node: model.NodeID(i % 3), Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}})
+	}
+	// Size the full pruned graph first so promptness is measurable.
+	_, fullStats, err := ExploreSchedulesParallel(alg.New(), 3, script, false, ParallelConfig{MaxStates: 20_000_000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 8} {
+		calls := 0
+		_, stats, err := ExploreSchedulesParallel(alg.New(), 3, script, false,
+			ParallelConfig{Workers: workers, MaxStates: 20_000_000},
+			func(*Cluster) error {
+				calls++
+				return boom
+			})
+		if !errors.Is(err, boom) || !errors.Is(err, ErrExploreAborted) {
+			t.Fatalf("workers=%d: err = %v, want wrapped callback error", workers, err)
+		}
+		if calls != 1 {
+			t.Fatalf("workers=%d: fn called %d times after failing, want 1 (calls are serialized)", workers, calls)
+		}
+		if stats.States >= fullStats.States {
+			t.Fatalf("workers=%d: expanded %d states after abort, full graph is only %d — not prompt",
+				workers, stats.States, fullStats.States)
+		}
+	}
+}
+
+// TestExploreParallelStats sanity-checks the accounting invariants of
+// ExploreStats on a 3-node script.
+func TestExploreParallelStats(t *testing.T) {
+	alg := registry.Counter()
+	script := Script{
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}},
+		{Node: 1, Op: model.Op{Name: spec.OpInc, Arg: model.Int(2)}},
+		{Node: 2, Op: model.Op{Name: spec.OpInc, Arg: model.Int(3)}},
+	}
+	terminals, stats, err := ExploreSchedulesParallel(alg.New(), 3, script, false, ParallelConfig{Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminals == 0 || stats.Terminals != int64(terminals) {
+		t.Fatalf("terminals=%d stats.Terminals=%d", terminals, stats.Terminals)
+	}
+	if stats.States == 0 || stats.Deduped == 0 || stats.Pruned == 0 || stats.PeakFrontier == 0 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+	var processed int64
+	for _, n := range stats.WorkerItems {
+		processed += n
+	}
+	if processed != stats.States+stats.Revisits {
+		t.Fatalf("processed %d items, want states+revisits = %d", processed, stats.States+stats.Revisits)
+	}
+
+	// The reduction must actually shrink the expanded graph.
+	_, noPrune, err := ExploreSchedulesParallel(alg.New(), 3, script, false, ParallelConfig{Workers: 4, NoPrune: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPrune.States <= stats.States {
+		t.Fatalf("pruned graph (%d states) not smaller than full graph (%d)", stats.States, noPrune.States)
+	}
+	if noPrune.Terminals != stats.Terminals {
+		t.Fatalf("pruning changed the terminal count: %d vs %d", stats.Terminals, noPrune.Terminals)
+	}
+}
+
+// TestExploreParallelDivergenceDetected mirrors the sequential divergence
+// test: the engine must still find schedules on which an order-sensitive
+// "CRDT" diverges — i.e. the reduction never hides a real interleaving
+// outcome.
+func TestExploreParallelDivergenceDetected(t *testing.T) {
+	script := Script{
+		{Node: 0, Op: model.Op{Name: spec.OpInc, Arg: model.Int(1)}},
+		{Node: 1, Op: model.Op{Name: spec.OpInc, Arg: model.Int(2)}},
+	}
+	diverged := 0
+	terminals, _, err := ExploreSchedulesParallel(orderSensitiveObj{}, 2, script, false, ParallelConfig{Workers: 4}, func(c *Cluster) error {
+		a := c.StateOf(0).(orderState).v
+		b := c.StateOf(1).(orderState).v
+		if a != b {
+			diverged++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminals == 0 || diverged == 0 {
+		t.Fatalf("expected divergent schedules, got %d/%d", diverged, terminals)
+	}
+}
+
+// TestExploreParallelCausalThreeNodes exercises the reduction under causal
+// delivery on a wider cluster than the per-algorithm differential test: the
+// floor rule interacts with dependency-gated deliverability, and the
+// terminal sets must still agree with the unpruned graph.
+func TestExploreParallelCausalThreeNodes(t *testing.T) {
+	for _, alg := range registry.XWins() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			script := Script{
+				{Node: 0, Op: model.Op{Name: spec.OpAdd, Arg: model.Str("a")}},
+				{Node: 1, Op: model.Op{Name: spec.OpRemove, Arg: model.Str("a")}},
+				{Node: 2, Op: model.Op{Name: spec.OpAdd, Arg: model.Str("b")}},
+				{Node: 0, Op: model.Op{Name: spec.OpRemove, Arg: model.Str("b")}},
+			}
+			pruned := map[string]bool{}
+			_, _, err := ExploreSchedulesParallel(alg.New(), 3, script, true, ParallelConfig{Workers: 4}, func(c *Cluster) error {
+				if _, ok := c.Converged(alg.Abs); !ok {
+					return fmt.Errorf("replicas diverged at quiescence")
+				}
+				pruned[c.Key()] = true
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := map[string]bool{}
+			_, _, err = ExploreSchedulesParallel(alg.New(), 3, script, true, ParallelConfig{Workers: 4, NoPrune: true}, func(c *Cluster) error {
+				full[c.Key()] = true
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffKeys(t, full, pruned, "causal 3-node")
+		})
+	}
+}
