@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain `go` —
 # these just bundle the invocations the docs mention.
 
-.PHONY: all build test short race ci soak bench bench-md repro examples fmt vet
+.PHONY: all build test short race ci chaos fuzz soak bench bench-md repro examples fmt vet
 
 all: build vet test
 
@@ -32,6 +32,20 @@ ci:
 	go vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	go test -short -race ./...
+
+# Mirror of CI's chaos + fuzz smoke: seeded fault-injection runs over every
+# registry algorithm, then a short coverage-guided pass over both fuzz
+# targets. Each chaos line is replayable — rerun with the printed seed.
+chaos:
+	go run ./cmd/crdt-sim -chaos -algo rga -nodes 3 -ops 10 -seed 1 -seeds 5
+	go run ./cmd/crdt-sim -chaos -algo aw-set -nodes 3 -ops 10 -seed 1 -seeds 5
+	@for a in counter g-set lww-register lww-set 2p-set cseq rw-set; do \
+		go run ./cmd/crdt-sim -chaos -algo $$a -nodes 3 -ops 10 -seed 1 -seeds 3 | tail -1; done
+	go test -run '^$$' -fuzz '^FuzzClusterDelivery$$' -fuzztime 30s ./internal/sim/
+
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzCheckACC$$' -fuzztime 30s ./internal/core/
+	go test -run '^$$' -fuzz '^FuzzClusterDelivery$$' -fuzztime 30s ./internal/sim/
 
 soak:
 	go test -run TestSoak ./internal/conformance/

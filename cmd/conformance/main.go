@@ -23,10 +23,11 @@ func main() {
 		seeds   = flag.Int("seeds", 8, "randomized traces per check")
 		steps   = flag.Int("steps", 40, "scheduler steps per trace")
 		workers = flag.Int("workers", 0, "workers for the parallel exploration check (0 = GOMAXPROCS)")
+		chaos   = flag.Int("chaos-seeds", 0, "fault plans per algorithm for the fault-injection check (0 = derive from -seeds)")
 		client  = flag.String("client", "", "client program for the refinement check")
 	)
 	flag.Parse()
-	cfg := conformance.Config{Seeds: *seeds, Steps: *steps, Workers: *workers, Client: *client}
+	cfg := conformance.Config{Seeds: *seeds, Steps: *steps, Workers: *workers, ChaosSeeds: *chaos, Client: *client}
 	var reports []conformance.Report
 	if *algo == "all" {
 		reports = conformance.RunAll(cfg)

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	crdt-sim -algo rga -nodes 3 -steps 200 -seeds 20 [-drop 0.1] [-v]
+//
+// Chaos mode runs deterministic scripted executions under seeded fault
+// plans — message loss (with retransmission), bounded duplication, reorder
+// windows, transient partitions and node crash/recovery — and checks that
+// the replicas still converge once the faults heal and delivery quiesces.
+// Every run is replayable: the same flags always produce the same script,
+// plan, trace and verdict, and the first seed is executed twice to prove it.
+//
+//	crdt-sim -chaos -algo rga -nodes 3 -ops 12 -seed 1 -seeds 10 [-loss 0.2] [-dup 0.3] [-delay 3] [-v]
 package main
 
 import (
@@ -27,6 +36,13 @@ func main() {
 		seeds = flag.Int("seeds", 10, "number of randomized runs")
 		drop  = flag.Float64("drop", 0, "per-destination message drop probability (disables the final drain)")
 		verb  = flag.Bool("v", false, "print the trace of the first run")
+
+		chaos = flag.Bool("chaos", false, "chaos mode: scripted runs under seeded fault plans")
+		seed  = flag.Int64("seed", 1, "chaos mode: base seed (runs use seed..seed+seeds-1)")
+		ops   = flag.Int("ops", 12, "chaos mode: scripted operations per run")
+		loss  = flag.Float64("loss", -1, "chaos mode: override plan link loss probability (-1 = from plan)")
+		dup   = flag.Float64("dup", -1, "chaos mode: override plan link duplication probability (-1 = from plan)")
+		delay = flag.Int("delay", -1, "chaos mode: override plan reorder window in ticks (-1 = from plan)")
 	)
 	flag.Parse()
 	alg, ok := registry.ByName(*algo)
@@ -34,31 +50,123 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crdt-sim: unknown algorithm %q (have: %s)\n", *algo, strings.Join(algoNames(), ", "))
 		os.Exit(2)
 	}
+	if *chaos {
+		os.Exit(runChaos(alg, *nodes, *ops, *seed, *seeds, *loss, *dup, *delay, *verb))
+	}
+	os.Exit(runRandom(alg, *nodes, *steps, *seeds, *drop, *verb))
+}
+
+// runChaos executes chaos mode and returns the process exit code.
+func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, loss, dup float64, delay int, verb bool) int {
+	fmt.Printf("chaos: algorithm %s (spec %s", alg.Name, alg.Spec.Name())
+	if alg.NeedsCausal {
+		fmt.Printf(", causal delivery")
+	}
+	fmt.Printf("), %d nodes, %d ops/script, seeds %d..%d\n", nodes, ops, base, base+int64(seeds)-1)
+
+	bad := 0
+	for s := base; s < base+int64(seeds); s++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, s, alg.NeedsCausal)
+		plan := sim.GenFaultPlan(s, nodes, 2*ops)
+		if loss >= 0 {
+			plan.Link.Loss = loss
+		}
+		if dup >= 0 {
+			plan.Link.Dup = dup
+			if plan.Link.MaxDup == 0 {
+				plan.Link.MaxDup = 1
+			}
+		}
+		if delay >= 0 {
+			plan.Link.DelayMax = delay
+		}
+		run := func() (*sim.ChaosReport, error) {
+			return sim.Chaos{
+				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
+				Nodes: nodes, Seed: s, Causal: alg.NeedsCausal,
+			}.Run()
+		}
+		rep, err := run()
+		if err != nil {
+			fmt.Printf("seed %4d: FAILED: %v (plan %s)\n", s, err, plan)
+			bad++
+			continue
+		}
+		if verb && s == base {
+			fmt.Printf("plan: %s\n", plan)
+			fmt.Println(trace.Render(rep.Trace))
+		}
+		if err := rep.Trace.CheckWellFormed(); err != nil {
+			fmt.Printf("seed %4d: malformed trace: %v\n", s, err)
+			bad++
+			continue
+		}
+		abs, converged := rep.Cluster.Converged(alg.Abs)
+		if !converged {
+			fmt.Printf("seed %4d: DIVERGED after faults healed (plan %s)\n%s\n",
+				s, plan, core.DivergenceReport(rep.Trace, alg.New().Init(), alg.Abs))
+			bad++
+			continue
+		}
+		if err := core.CheckConvergenceFrom(rep.Trace, alg.New().Init(), alg.Abs); err != nil {
+			fmt.Printf("seed %4d: CvT VIOLATED: %v\n", s, err)
+			bad++
+			continue
+		}
+		status := ""
+		if s == base {
+			// Prove the reproduction recipe: the same (script, seed, plan)
+			// must replay byte-for-byte.
+			rep2, err := run()
+			switch {
+			case err != nil:
+				status = "  [replay FAILED: " + err.Error() + "]"
+				bad++
+			case rep2.Trace.String() != rep.Trace.String() || rep2.Stats != rep.Stats || rep2.Ticks != rep.Ticks:
+				status = "  [replay NOT reproducible]"
+				bad++
+			default:
+				status = "  [replay identical]"
+			}
+		}
+		fmt.Printf("seed %4d: %3d events, %3d ticks, converged to %s  (%s)%s\n",
+			s, len(rep.Trace), rep.Ticks, abs, rep.Stats, status)
+	}
+	fmt.Printf("\n%d/%d chaos runs consistent\n", seeds-bad, seeds)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runRandom is the original randomized-workload mode; it returns the
+// process exit code.
+func runRandom(alg registry.Algorithm, nodes, steps, seeds int, drop float64, verb bool) int {
 	fmt.Printf("algorithm %s (spec %s", alg.Name, alg.Spec.Name())
 	if alg.NeedsCausal {
 		fmt.Printf(", causal delivery")
 	}
-	fmt.Printf("), %d nodes, %d steps, %d runs\n", *nodes, *steps, *seeds)
+	fmt.Printf("), %d nodes, %d steps, %d runs\n", nodes, steps, seeds)
 
 	converged, diverged := 0, 0
-	for seed := int64(1); seed <= int64(*seeds); seed++ {
+	for seed := int64(1); seed <= int64(seeds); seed++ {
 		w := sim.Workload{
 			Object:     alg.New(),
 			Abs:        alg.Abs,
 			Gen:        sim.GenFunc(alg.GenOp),
-			Nodes:      *nodes,
-			Steps:      *steps,
+			Nodes:      nodes,
+			Steps:      steps,
 			Causal:     alg.NeedsCausal,
-			DropProb:   *drop,
-			FinalDrain: *drop == 0,
+			DropProb:   drop,
+			FinalDrain: drop == 0,
 		}
 		c := w.Run(seed)
 		tr := c.Trace()
 		if err := tr.CheckWellFormed(); err != nil {
 			fmt.Fprintf(os.Stderr, "crdt-sim: seed %d: malformed trace: %v\n", seed, err)
-			os.Exit(1)
+			return 1
 		}
-		if *verb && seed == 1 {
+		if verb && seed == 1 {
 			fmt.Println(trace.Render(tr))
 			fmt.Print(trace.Summarize(tr))
 		}
@@ -67,7 +175,7 @@ func main() {
 			diverged++
 			continue
 		}
-		if *drop == 0 {
+		if drop == 0 {
 			abs, ok := c.Converged(alg.Abs)
 			if !ok {
 				fmt.Printf("seed %4d: replicas diverged after full drain\n", seed)
@@ -81,10 +189,11 @@ func main() {
 		}
 		converged++
 	}
-	fmt.Printf("\n%d/%d runs consistent\n", converged, *seeds)
+	fmt.Printf("\n%d/%d runs consistent\n", converged, seeds)
 	if diverged > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func algoNames() []string {

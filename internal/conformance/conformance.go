@@ -8,7 +8,12 @@
 //  3. the trace conditions on randomized executions: ACC via the ↣ witness
 //     (or XACC via the ◀/▷ witness) and convergence (Lemma 5's SEC);
 //  4. complete bounded decisions on short traces (exhaustive ACC/XACC);
-//  5. contextual refinement on a client program (the Abstraction Theorem's
+//  5. exhaustive schedule exploration of small scripts (parallel explorer
+//     cross-checked against the sequential oracle);
+//  6. fault-injection convergence: scripted runs under seeded fault plans
+//     (loss, duplication, reorder, partitions, crash/recovery) still reach
+//     one abstract value once faults heal, and replay deterministically;
+//  7. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -39,6 +44,9 @@ type Config struct {
 	// Workers is the worker count for the parallel schedule-exploration
 	// check (default: sim picks GOMAXPROCS).
 	Workers int
+	// ChaosSeeds is the number of fault plans the fault-injection
+	// convergence check runs per algorithm (default: Seeds, capped at 4).
+	ChaosSeeds int
 	// Client, when non-empty, is a client program source checked for
 	// contextual refinement against the abstract machine.
 	Client string
@@ -139,7 +147,14 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// cross-checked against the sequential oracle.
 	add("parallel schedule exploration", exploreChecks(alg, cfg))
 
-	// 6. Client refinement.
+	// 6. Fault-injection convergence: scripted runs under generated fault
+	// plans (loss-with-retransmit, duplication, reorder windows, transient
+	// partitions, crash/recovery with fresh resync) must still converge to
+	// one abstract value once faults heal and delivery quiesces, and the
+	// whole run must replay byte-for-byte from (script, seed, plan).
+	add("fault-injection convergence", chaosChecks(alg, cfg))
+
+	// 7. Client refinement.
 	if cfg.Client == "" {
 		skip("contextual refinement (Thm 7)", "no client program supplied")
 	} else {
@@ -230,6 +245,69 @@ func exploreChecks(alg registry.Algorithm, cfg Config) error {
 		for k := range want {
 			if !got[k] {
 				return fmt.Errorf("seed %d: parallel explorer missed a terminal state of the oracle", seed)
+			}
+		}
+	}
+	return nil
+}
+
+// chaosChecks runs the fault-injection convergence battery item: for each
+// seed it generates a script and a fault plan, executes the chaos run, and
+// requires a well-formed trace, SEC convergence of the live replicas after
+// heal-and-drain (the Lemma 5 guarantee under network pathology), the
+// trace-level CvT property, and — on the first seed — byte-for-byte replay
+// determinism of the whole run. An algorithm whose effectors are not
+// tolerant to the reordering the paper's setting permits, or whose
+// duplicates escape the at-most-once delivery layer, diverges here.
+func chaosChecks(alg registry.Algorithm, cfg Config) error {
+	const nodes = 3
+	ops := cfg.Steps / 4
+	if ops < 6 {
+		ops = 6
+	}
+	if ops > 12 {
+		ops = 12
+	}
+	seeds := cfg.ChaosSeeds
+	if seeds == 0 {
+		seeds = cfg.Seeds
+		if seeds > 4 {
+			seeds = 4
+		}
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		plan := sim.GenFaultPlan(seed, nodes, 2*ops)
+		run := func() (*sim.ChaosReport, error) {
+			return sim.Chaos{
+				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
+				Nodes: nodes, Seed: seed, Causal: alg.NeedsCausal,
+			}.Run()
+		}
+		rep, err := run()
+		if err != nil {
+			return fmt.Errorf("seed %d (plan %s): %w", seed, plan, err)
+		}
+		if err := rep.Trace.CheckWellFormed(); err != nil {
+			return fmt.Errorf("seed %d (plan %s): %w", seed, plan, err)
+		}
+		if alg.NeedsCausal && !rep.Trace.CausalDelivery() {
+			return fmt.Errorf("seed %d (plan %s): faulted run violated causal delivery", seed, plan)
+		}
+		if _, ok := rep.Cluster.Converged(alg.Abs); !ok {
+			return fmt.Errorf("seed %d (plan %s): replicas diverged after faults healed:\n%s",
+				seed, plan, core.DivergenceReport(rep.Trace, alg.New().Init(), alg.Abs))
+		}
+		if err := core.CheckConvergenceFrom(rep.Trace, alg.New().Init(), alg.Abs); err != nil {
+			return fmt.Errorf("seed %d (plan %s): %w", seed, plan, err)
+		}
+		if seed == 1 {
+			rep2, err := run()
+			if err != nil {
+				return fmt.Errorf("seed %d replay: %w", seed, err)
+			}
+			if rep2.Trace.String() != rep.Trace.String() || rep2.Stats != rep.Stats || rep2.Ticks != rep.Ticks {
+				return fmt.Errorf("seed %d (plan %s): chaos run is not reproducible from (script, seed, plan)", seed, plan)
 			}
 		}
 	}

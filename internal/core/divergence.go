@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// NodeSummary is one node's endpoint view of a trace: which effectful
+// operations reached it and what abstract value its replayed replica state
+// maps to under φ.
+type NodeSummary struct {
+	Node model.NodeID
+	// Visible is the number of effectful operations that reached the node.
+	Visible int
+	// Missing lists the effectful operations (by MsgID, sorted) issued
+	// somewhere in the trace that never reached the node.
+	Missing []model.MsgID
+	// Abs is φ of the node's final replayed state.
+	Abs model.Value
+}
+
+// SummarizeFinalStates replays each node's local trace and reports, per
+// node, its visible set, the effectful operations it is missing, and its
+// final abstract value. It is the witness behind a convergence verdict:
+// when replicas diverge, the summaries show which deliveries differ and how
+// the abstract values disagree; when all nodes saw everything and agree,
+// convergence holds. Chaos harnesses print it to make a divergence
+// actionable instead of a bare boolean.
+func SummarizeFinalStates(tr trace.Trace, init crdt.State, abs crdt.Abstraction) []NodeSummary {
+	effectful := map[model.MsgID]bool{}
+	for _, e := range tr.Origins() {
+		if !e.IsQuery() {
+			effectful[e.MID] = true
+		}
+	}
+	var out []NodeSummary
+	for _, t := range tr.Nodes() {
+		vis := tr.VisibleSet(t)
+		var missing []model.MsgID
+		seen := 0
+		for mid := range effectful {
+			if vis[mid] {
+				seen++
+			} else {
+				missing = append(missing, mid)
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		out = append(out, NodeSummary{
+			Node:    t,
+			Visible: seen,
+			Missing: missing,
+			Abs:     abs(trace.ReplayLocal(init, tr.Restrict(t))),
+		})
+	}
+	return out
+}
+
+// DivergenceReport renders SummarizeFinalStates as a deterministic
+// multi-line diagnosis, one node per line.
+func DivergenceReport(tr trace.Trace, init crdt.State, abs crdt.Abstraction) string {
+	var b strings.Builder
+	for _, s := range SummarizeFinalStates(tr, init, abs) {
+		fmt.Fprintf(&b, "  %s: %d effectful ops visible", s.Node, s.Visible)
+		if len(s.Missing) > 0 {
+			ids := make([]string, len(s.Missing))
+			for i, m := range s.Missing {
+				ids[i] = m.String()
+			}
+			fmt.Fprintf(&b, " (missing %s)", strings.Join(ids, ","))
+		}
+		fmt.Fprintf(&b, ", φ(state) = %s\n", s.Abs)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crdts/registry"
+	"repro/internal/sim"
+)
+
+// FuzzCheckACC throws arbitrary (seed, knobs) pairs at the trace checkers:
+// knobs selects a UCR algorithm, seed generates a small script executed under
+// a generated fault plan. The checkers must never panic on any trace the
+// simulator can produce, and their verdicts — CheckACC's search, the
+// witness-mode replay, and the convergence check — must be deterministic:
+// regenerating the same trace yields the same Result and the same Reason.
+// Scripts stay at 2 nodes × ≤4 ops so the exhaustive search is in bounds.
+func FuzzCheckACC(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(2), int64(1))
+	f.Add(int64(99), int64(5))
+	f.Add(int64(-7), int64(-2))
+	f.Add(int64(123456789), int64(31))
+	// Fuzz-found: rga under a 2-tick reorder window applies a remove before
+	// its insert at the peer, whose next insert gets an older stamp — the
+	// witness order is cyclic there while ACC still holds (see below).
+	f.Add(int64(123456835), int64(-311))
+
+	var algs []registry.Algorithm
+	for _, a := range registry.All() {
+		if a.TSOrder != nil { // UCR algorithms: CheckACC/CheckACCWitness apply
+			algs = append(algs, a)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed, knobs int64) {
+		u := uint64(knobs)
+		alg := algs[int(u%uint64(len(algs)))]
+		ops := 2 + int((u>>8)%3) // 2..4 ops keep every node under the exhaustive bound
+
+		type verdict struct {
+			accOK     bool
+			accReason string
+			accErr    string
+			witOK     bool
+			witReason string
+			witErr    string
+			cvtErr    string
+		}
+		run := func() verdict {
+			script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), 2, ops, seed, alg.NeedsCausal)
+			rep, err := sim.Chaos{
+				Object: alg.New(), Abs: alg.Abs, Script: script,
+				Plan:  sim.GenFaultPlan(seed, 2, 2*ops),
+				Nodes: 2, Seed: seed, Causal: alg.NeedsCausal,
+			}.Run()
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", alg.Name, seed, err)
+			}
+			p := core.Problem{Object: alg.New(), Spec: alg.Spec, Abs: alg.Abs}
+			var v verdict
+			res, err := core.CheckACC(rep.Trace, p)
+			v.accOK, v.accReason = res.OK, res.Reason
+			if err != nil {
+				v.accErr = err.Error()
+			}
+			wres, werr := core.CheckACCWitness(rep.Trace, p, core.TSOrder(alg.TSOrder))
+			v.witOK, v.witReason = wres.OK, wres.Reason
+			if werr != nil {
+				v.witErr = werr.Error()
+			}
+			if cerr := core.CheckConvergenceFrom(rep.Trace, alg.New().Init(), alg.Abs); cerr != nil {
+				v.cvtErr = cerr.Error()
+			}
+			return v
+		}
+		a := run()
+		// The registry algorithms are correct, so beyond "no panic" the
+		// exhaustive decision must accept every simulator trace.
+		if a.accErr != "" || !a.accOK {
+			t.Fatalf("%s seed=%d: CheckACC rejected a simulator trace: ok=%v reason=%q err=%q",
+				alg.Name, seed, a.accOK, a.accReason, a.accErr)
+		}
+		// The witness mode is one-sided by design: a rejection only means
+		// the constructed order failed, not that none exists. Fuzzing finds
+		// real such traces — without causal delivery a node can apply a
+		// remove before the matching insert and stamp its own conflicting
+		// insert in between, making vis ∪ ↣ cyclic (corpus entry
+		// 41fffc533787caa6). What must hold is soundness: an acceptance may
+		// never contradict the exhaustive decision, and it must never error
+		// on a well-formed trace.
+		if a.witErr != "" {
+			t.Fatalf("%s seed=%d: CheckACCWitness errored on a well-formed trace: %q",
+				alg.Name, seed, a.witErr)
+		}
+		if a.witOK && !a.accOK {
+			t.Fatalf("%s seed=%d: witness accepted a trace the exhaustive search rejects", alg.Name, seed)
+		}
+		if a.cvtErr != "" {
+			t.Fatalf("%s seed=%d: convergence check failed: %s", alg.Name, seed, a.cvtErr)
+		}
+		if b := run(); a != b {
+			t.Fatalf("%s seed=%d: verdicts not deterministic:\n%+v\n%+v", alg.Name, seed, a, b)
+		}
+	})
+}

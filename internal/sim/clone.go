@@ -9,12 +9,17 @@ import (
 )
 
 // Clone deep-copies the cluster so exhaustive explorers can branch. Replica
-// states, effectors and messages are immutable and therefore shared.
+// states, effectors and messages are immutable and therefore shared (a
+// duplicate copy being consumed replaces its message copy-on-write, so the
+// sharing stays safe). The link-fault RNG, when present, is shared too:
+// explorers operate on clean clusters, and chaos runs never branch.
 func (c *Cluster) Clone() *Cluster {
-	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID}
+	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID, now: c.now, net: c.net, stats: c.stats}
 	cp.partition = append([]int(nil), c.partition...)
 	cp.states = append(cp.states, c.states...)
 	cp.tr = append(cp.tr, c.tr...)
+	cp.down = append([]bool(nil), c.down...)
+	cp.msglog = append([]*message(nil), c.msglog...)
 	for _, a := range c.applied {
 		na := make(map[model.MsgID]bool, len(a))
 		for k := range a {
@@ -29,17 +34,36 @@ func (c *Cluster) Clone() *Cluster {
 		}
 		cp.inbox = append(cp.inbox, nb)
 	}
+	for _, d := range c.dropped {
+		nd := make(map[model.MsgID]bool, len(d))
+		for k := range d {
+			nd[k] = true
+		}
+		cp.dropped = append(cp.dropped, nd)
+	}
 	return cp
 }
 
 // Key canonically renders the cluster's future-relevant state (replica
-// states, pending messages with their contents and dependencies, applied
-// sets) for memoized exploration. Message contents are included because two
-// exploration branches may reuse the same MsgID for different operations.
+// states, pending messages with their contents, dependencies, remaining
+// copies and arrival ticks, applied sets, crash flags and the virtual clock)
+// for memoized exploration. Message contents are included because two
+// exploration branches may reuse the same MsgID for different operations;
+// copies and arrival ticks are included so faulty schedules — where the same
+// MsgID can still have duplicates queued or a latency window pending — never
+// collide with states whose futures differ. On the clean clusters the
+// explorers build, these fields are constant and the keys stay equivalent.
+// The dropped sets are deliberately excluded: a dropped message can never
+// affect future behaviour, only Drop's error classification.
 func (c *Cluster) Key() string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "@%d|", c.now)
 	for t, s := range c.states {
-		fmt.Fprintf(&b, "t%d=%s|", t, s.Key())
+		fmt.Fprintf(&b, "t%d=%s", t, s.Key())
+		if c.down[t] {
+			b.WriteByte('!')
+		}
+		b.WriteByte('|')
 		pend := make([]int, 0, len(c.inbox[t]))
 		for mid := range c.inbox[t] {
 			pend = append(pend, int(mid))
@@ -53,7 +77,7 @@ func (c *Cluster) Key() string {
 				deps = append(deps, int(d))
 			}
 			sort.Ints(deps)
-			fmt.Fprintf(&b, "%d=%s%v,", mid, msg.eff, deps)
+			fmt.Fprintf(&b, "%d=%s%v*%d@%d,", mid, msg.eff, deps, msg.copies, msg.readyAt)
 		}
 		b.WriteString("]|")
 		app := make([]int, 0, len(c.applied[t]))

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// TestDropErrorClassification: Drop distinguishes its failure modes with
+// sentinel errors instead of a generic "no such message", so callers (and the
+// chaos engine) can tell a bogus MsgID from a double drop from a race with
+// delivery.
+func TestDropErrorClassification(t *testing.T) {
+	type step struct {
+		deliver bool // deliver the message to dst first
+		drop    int  // number of prior Drop calls for the same (dst, mid)
+		mid     func(real model.MsgID) model.MsgID
+		want    error
+	}
+	cases := []struct {
+		name string
+		step step
+	}{
+		{"unknown MsgID", step{
+			mid:  func(model.MsgID) model.MsgID { return model.MsgID(9999) },
+			want: ErrUnknownMessage,
+		}},
+		{"double drop", step{
+			drop: 1,
+			mid:  func(real model.MsgID) model.MsgID { return real },
+			want: ErrAlreadyDropped,
+		}},
+		{"drop after deliver", step{
+			deliver: true,
+			mid:     func(real model.MsgID) model.MsgID { return real },
+			want:    ErrAlreadyDelivered,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			alg := registry.GSet()
+			c := NewCluster(alg.New(), 2)
+			_, mid, err := c.Invoke(0, model.Op{Name: spec.OpAdd, Arg: model.Str("a")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.step.deliver {
+				if err := c.Deliver(1, mid); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < tc.step.drop; i++ {
+				if err := c.Drop(1, mid); err != nil {
+					t.Fatalf("setup drop %d: %v", i, err)
+				}
+			}
+			err = c.Drop(1, tc.step.mid(mid))
+			if !errors.Is(err, tc.step.want) {
+				t.Fatalf("Drop error = %v, want %v", err, tc.step.want)
+			}
+		})
+	}
+}
+
+// TestDropErrorsAreDistinct: the sentinels classify, so no two of them may
+// alias each other.
+func TestDropErrorsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrUnknownMessage, ErrAlreadyDelivered, ErrAlreadyDropped}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("sentinel %v aliases %v", a, b)
+			}
+		}
+	}
+}
+
+// TestDropOtherDestinationUnaffected: dropping node 1's copy must leave node
+// 2's copy deliverable — drops are per-destination, as in the Sec 3 model
+// where each node independently receives at most once.
+func TestDropOtherDestinationUnaffected(t *testing.T) {
+	alg := registry.GSet()
+	c := NewCluster(alg.New(), 3)
+	_, mid, err := c.Invoke(0, model.Op{Name: spec.OpAdd, Arg: model.Str("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop(1, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deliver(2, mid); err != nil {
+		t.Fatalf("node 2's copy must survive node 1's drop: %v", err)
+	}
+	// And the dropped destination stays dropped: delivery now fails too,
+	// classified as a drop rather than an unknown message.
+	if err := c.Deliver(1, mid); !errors.Is(err, ErrAlreadyDropped) {
+		t.Fatalf("Deliver after drop = %v, want %v", err, ErrAlreadyDropped)
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/crdts/registry"
+)
+
+// FuzzClusterDelivery throws arbitrary (seed, knobs) pairs at the chaos
+// engine: knobs picks the algorithm, cluster size and script length; seed
+// drives the script, the fault plan and the delivery schedule. Whatever the
+// inputs, the run must not panic, must quiesce to a well-formed trace, and
+// must be exactly reproducible — the determinism contract behind every chaos
+// reproduction recipe.
+func FuzzClusterDelivery(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(7), int64(3))
+	f.Add(int64(42), int64(260))
+	f.Add(int64(-5), int64(-1))
+	f.Add(int64(1<<40), int64(9999))
+
+	algs := registry.All()
+	f.Fuzz(func(t *testing.T, seed, knobs int64) {
+		u := uint64(knobs)
+		alg := algs[int(u%uint64(len(algs)))]
+		nodes := 2 + int((u>>8)%2) // 2 or 3
+		ops := 4 + int((u>>16)%5)  // 4..8
+
+		run := func() *ChaosReport {
+			w := chaosFor(alg, nodes, ops, seed)
+			rep, err := w.Run()
+			if err != nil {
+				t.Fatalf("%s nodes=%d ops=%d seed=%d: %v", alg.Name, nodes, ops, seed, err)
+			}
+			return rep
+		}
+		a := run()
+		if err := a.Trace.CheckWellFormed(); err != nil {
+			t.Fatalf("%s seed=%d: malformed trace: %v", alg.Name, seed, err)
+		}
+		if alg.NeedsCausal && !a.Trace.CausalDelivery() {
+			t.Fatalf("%s seed=%d: causal delivery violated", alg.Name, seed)
+		}
+		if _, ok := a.Cluster.Converged(alg.Abs); !ok {
+			t.Fatalf("%s seed=%d: replicas diverged after faults healed", alg.Name, seed)
+		}
+		b := run()
+		if a.Trace.String() != b.Trace.String() {
+			t.Fatalf("%s seed=%d: same recipe, different traces", alg.Name, seed)
+		}
+		if a.Stats != b.Stats || a.Ticks != b.Ticks {
+			t.Fatalf("%s seed=%d: same recipe, different stats (%v/%d vs %v/%d)",
+				alg.Name, seed, a.Stats, a.Ticks, b.Stats, b.Ticks)
+		}
+	})
+}

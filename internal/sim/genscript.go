@@ -49,3 +49,55 @@ func GenScript(obj crdt.Object, abs crdt.Abstraction, gen GenFunc, nodes, ops in
 	}
 	return script
 }
+
+// GenFaultPlan deterministically generates a fault plan for a nodes-replica
+// cluster whose interesting activity spans roughly horizon virtual-clock
+// ticks: link faults drawn from moderate ranges, at most one transient
+// partition window, and up to two non-overlapping crash windows on distinct
+// nodes (fresh-resync or durable restart). The same (seed, nodes, horizon)
+// always yields the same plan — the third coordinate of the chaos
+// reproduction recipe (script, seed, plan).
+func GenFaultPlan(seed int64, nodes, horizon int) FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	var p FaultPlan
+	if rng.Intn(2) == 0 {
+		p.Link.Loss = 0.05 + 0.20*rng.Float64()
+	}
+	if rng.Intn(3) > 0 {
+		p.Link.Dup = 0.10 + 0.25*rng.Float64()
+		p.Link.MaxDup = 1 + rng.Intn(2)
+	}
+	p.Link.DelayMax = rng.Intn(4)
+	if nodes >= 2 && horizon >= 4 && rng.Intn(2) == 0 {
+		from := rng.Intn(horizon / 2)
+		to := from + 1 + rng.Intn(horizon/2)
+		var a, b []model.NodeID
+		for n := 0; n < nodes; n++ {
+			if n == 0 || rng.Intn(2) == 0 { // node 0 anchors one side; both stay nonempty for nodes ≥ 2
+				a = append(a, model.NodeID(n))
+			} else {
+				b = append(b, model.NodeID(n))
+			}
+		}
+		if len(b) == 0 {
+			b = append(b, a[len(a)-1])
+			a = a[:len(a)-1]
+		}
+		p.Partitions = append(p.Partitions, PartitionWindow{From: from, To: to, Groups: [][]model.NodeID{a, b}})
+	}
+	if nodes >= 2 && horizon >= 4 {
+		crashes := rng.Intn(3) // 0, 1 or 2 crash windows
+		if crashes > nodes-1 {
+			crashes = nodes - 1 // keep at least one node up; victims are distinct
+		}
+		perm := rng.Perm(nodes)
+		for i := 0; i < crashes; i++ {
+			from := rng.Intn(horizon / 2)
+			to := from + 1 + rng.Intn(horizon/2)
+			p.Crashes = append(p.Crashes, CrashWindow{
+				Node: model.NodeID(perm[i]), From: from, To: to, Fresh: rng.Intn(2) == 0,
+			})
+		}
+	}
+	return p
+}

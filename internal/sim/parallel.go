@@ -19,6 +19,14 @@ import (
 // parallel_test.go assert terminal-state-set equality between the two on
 // every registry algorithm.
 //
+// Both explorers dedup on Cluster.Key, which includes the fault-layer state
+// (remaining duplicate copies, arrival ticks, crash flags, virtual clock):
+// two states that agree on replica contents but differ in queued fault
+// pathology have different futures and are never merged, so the dedup stays
+// sound on faulty schedules. The explorers themselves build clean clusters,
+// where those fields are constant and the keys collapse to the original
+// form.
+//
 // # Commutativity reduction
 //
 // In the op-based effector model of sim.go, a delivery (dst, mid) mutates

@@ -4,7 +4,13 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 )
+
+// This file holds the availability faults: link partitions (messages queue
+// across the cut until Heal) and node crashes (a crashed node serves nothing
+// until Recover, which either resumes its durable state or resyncs a fresh
+// replica from the cluster's broadcast log).
 
 // Partition splits the cluster into link-disjoint groups: messages between
 // nodes in different groups stop being deliverable (they stay queued, not
@@ -35,12 +41,18 @@ func (c *Cluster) Partition(groups ...[]model.NodeID) error {
 		}
 	}
 	c.partition = side
+	c.stats.Partitions++
 	return nil
 }
 
 // Heal removes the partition; everything queued becomes deliverable again
-// (subject to causal delivery when enabled).
-func (c *Cluster) Heal() { c.partition = nil }
+// (subject to causal delivery and latency windows).
+func (c *Cluster) Heal() {
+	if c.partition != nil {
+		c.stats.Heals++
+	}
+	c.partition = nil
+}
 
 // Partitioned reports whether a partition is in effect.
 func (c *Cluster) Partitioned() bool { return c.partition != nil }
@@ -51,4 +63,69 @@ func (c *Cluster) linked(a, b model.NodeID) bool {
 		return true
 	}
 	return c.partition[a] == c.partition[b]
+}
+
+// Crash takes node t down: until Recover it accepts no invocations and no
+// deliveries. Messages addressed to it stay queued in the network, and
+// messages it already broadcast keep flowing — the crash is node-local.
+func (c *Cluster) Crash(t model.NodeID) error {
+	if int(t) < 0 || int(t) >= c.N() {
+		return fmt.Errorf("sim: no such node %s", t)
+	}
+	if c.down[t] {
+		return fmt.Errorf("sim: crash %s: %w", t, ErrNodeDown)
+	}
+	c.down[t] = true
+	c.stats.Crashes++
+	return nil
+}
+
+// Recover brings a crashed node back. With fresh=false the node restarts
+// from its durable replica state and simply resumes consuming its queue.
+// With fresh=true the replica is replaced: its in-flight queue is discarded
+// and every broadcast effector it has not yet applied is re-delivered from
+// the cluster's durable op log in MsgID order — an order consistent with
+// happens-before, so causal delivery is preserved — which is the
+// anti-entropy catch-up a real op-based system performs when resyncing a
+// replacement replica. The re-deliveries are recorded as ordinary delivery
+// events, keeping the trace well-formed (each effector still reaches the
+// node at most once).
+func (c *Cluster) Recover(t model.NodeID, fresh bool) error {
+	if int(t) < 0 || int(t) >= c.N() {
+		return fmt.Errorf("sim: no such node %s", t)
+	}
+	if !c.down[t] {
+		return fmt.Errorf("sim: recover %s: node is not crashed", t)
+	}
+	c.down[t] = false
+	c.stats.Recoveries++
+	if !fresh {
+		return nil
+	}
+	c.stats.Resyncs++
+	c.inbox[t] = map[model.MsgID]*message{}
+	for _, m := range c.msglog {
+		if c.applied[t][m.mid] {
+			continue // already applied (or its own origin)
+		}
+		c.states[t] = m.eff.Apply(c.states[t])
+		c.applied[t][m.mid] = true
+		c.tr = append(c.tr, trace.Event{
+			MID: m.mid, Node: t, Origin: m.from, Op: m.op, Eff: m.eff, IsOrigin: false,
+		})
+	}
+	return nil
+}
+
+// Down reports whether node t is crashed.
+func (c *Cluster) Down(t model.NodeID) bool { return c.down[t] }
+
+// anyDown reports whether any node is crashed.
+func (c *Cluster) anyDown() bool {
+	for _, d := range c.down {
+		if d {
+			return true
+		}
+	}
+	return false
 }

@@ -9,15 +9,44 @@
 // which ACC, XACC and convergence are decided — and supports scripted
 // deliveries (to replay the paper's figures), random schedules (for
 // property-based soundness harnesses), and full drains (to reach quiescence).
+//
+// Beyond the clean network, the cluster carries a seeded fault-injection
+// layer (faults.go): per-link loss with retransmission, bounded duplication
+// (suppressed by the at-most-once delivery layer), reorder/latency windows
+// over a virtual clock, transient partitions (partition.go), and node
+// crash/recovery with either durable restart or fresh-replica resync. Every
+// faulty execution is replayable from (script, seed, fault plan).
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/trace"
+)
+
+// Sentinel errors classifying why a delivery-queue operation was refused.
+// Harnesses match these with errors.Is; the wrapped messages add the node and
+// message identifiers.
+var (
+	// ErrUnknownMessage: the message was never addressed to the node (wrong
+	// MsgID, identity effector, or a node outside the broadcast).
+	ErrUnknownMessage = errors.New("sim: no such pending message")
+	// ErrAlreadyDelivered: the message was already applied at the node.
+	ErrAlreadyDelivered = errors.New("sim: message already delivered")
+	// ErrAlreadyDropped: the message was already discarded by Drop.
+	ErrAlreadyDropped = errors.New("sim: message already dropped")
+	// ErrCausalOrder: delivering now would violate causal delivery.
+	ErrCausalOrder = errors.New("sim: delivery would violate causal delivery")
+	// ErrInTransit: the message's latency window has not elapsed yet.
+	ErrInTransit = errors.New("sim: message still in transit")
+	// ErrPartitioned: the link between origin and destination is cut.
+	ErrPartitioned = errors.New("sim: link severed by partition")
+	// ErrNodeDown: the node is crashed (see Crash/Recover).
+	ErrNodeDown = errors.New("sim: node is down")
 )
 
 // message is one in-flight effector addressed to a single destination node.
@@ -27,6 +56,13 @@ type message struct {
 	op   model.Op
 	eff  crdt.Effector
 	deps map[model.MsgID]bool // operations visible at the origin when issued
+	// copies is how many network copies remain queued (>1 after a
+	// duplication fault; the delivery layer applies the effector at most
+	// once and suppresses the rest).
+	copies int
+	// readyAt is the earliest virtual-clock tick at which the copy may be
+	// delivered (loss-retransmission and reorder windows push it forward).
+	readyAt int
 }
 
 // Cluster is a simulated replicated system running one CRDT object.
@@ -36,11 +72,25 @@ type Cluster struct {
 	states  []crdt.State
 	applied []map[model.MsgID]bool // effectors applied per node
 	inbox   []map[model.MsgID]*message
+	dropped []map[model.MsgID]bool // messages discarded per node (Drop)
 	tr      trace.Trace
 	nextMID model.MsgID
 	// partition, when non-nil, assigns each node to a link group; messages
 	// only flow within a group (see Partition/Heal).
 	partition []int
+	// down marks crashed nodes: they accept no invocations and no
+	// deliveries until Recover (messages stay queued in the network).
+	down []bool
+	// msglog is the durable broadcast log, in MsgID (hence happens-before
+	// consistent) order; fresh-replica resync replays it (see Recover).
+	msglog []*message
+	// now is the virtual clock the latency windows are measured against;
+	// it only advances via Tick or a drain that must outwait a window.
+	now int
+	// net, when non-nil, perturbs every queued copy with seeded link
+	// faults (loss → retransmission delay, duplication, reorder delay).
+	net   *linkFaults
+	stats FaultStats
 }
 
 // Option configures a cluster.
@@ -61,7 +111,9 @@ func NewCluster(obj crdt.Object, n int, opts ...Option) *Cluster {
 		c.states = append(c.states, obj.Init())
 		c.applied = append(c.applied, map[model.MsgID]bool{})
 		c.inbox = append(c.inbox, map[model.MsgID]*message{})
+		c.dropped = append(c.dropped, map[model.MsgID]bool{})
 	}
+	c.down = make([]bool, n)
 	for _, o := range opts {
 		o(c)
 	}
@@ -77,6 +129,16 @@ func (c *Cluster) Object() crdt.Object { return c.obj }
 // StateOf returns the current replica state of a node.
 func (c *Cluster) StateOf(t model.NodeID) crdt.State { return c.states[t] }
 
+// Now returns the virtual-clock tick latency windows are measured against.
+func (c *Cluster) Now() int { return c.now }
+
+// Tick advances the virtual clock by one step, making messages whose latency
+// window has elapsed deliverable.
+func (c *Cluster) Tick() { c.now++ }
+
+// FaultStats returns what the fault layer has done so far.
+func (c *Cluster) FaultStats() FaultStats { return c.stats }
+
 // Trace returns a copy of the execution trace so far.
 func (c *Cluster) Trace() trace.Trace {
 	out := make(trace.Trace, len(c.tr))
@@ -90,10 +152,13 @@ func (c *Cluster) Trace() trace.Trace {
 // (identity effectors are not broadcast, Sec 2.1). Invoke returns the
 // operation's return value and its unique request ID. It returns
 // crdt.ErrAssume unchanged when the operation's precondition fails, leaving
-// the cluster untouched.
+// the cluster untouched, and ErrNodeDown when t is crashed.
 func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID, error) {
 	if int(t) < 0 || int(t) >= len(c.states) {
 		return model.Nil(), 0, fmt.Errorf("sim: no such node %s", t)
+	}
+	if c.down[t] {
+		return model.Nil(), 0, fmt.Errorf("sim: invoke at %s: %w", t, ErrNodeDown)
 	}
 	mid := c.nextMID
 	ret, eff, err := c.obj.Prepare(op, c.states[t], t, mid)
@@ -114,20 +179,26 @@ func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID,
 		// anyone's causal dependency set either — they could never be
 		// satisfied at a remote node.
 		c.applied[t][mid] = true
+		c.msglog = append(c.msglog, &message{mid: mid, from: t, op: op, eff: eff, deps: deps})
 		for dst := range c.states {
 			if model.NodeID(dst) == t {
 				continue
 			}
-			c.inbox[dst][mid] = &message{mid: mid, from: t, op: op, eff: eff, deps: deps}
+			m := &message{mid: mid, from: t, op: op, eff: eff, deps: deps, copies: 1, readyAt: c.now}
+			if c.net != nil {
+				c.net.perturb(c, m)
+			}
+			c.inbox[dst][mid] = m
 		}
 	}
 	return ret, mid, nil
 }
 
-// deliverable reports whether msg may be delivered to dst now, honouring
-// causal delivery when enabled.
+// deliverable reports whether msg may be delivered to dst now, honouring the
+// crash state, the partition, the latency window, and causal delivery when
+// enabled.
 func (c *Cluster) deliverable(dst model.NodeID, msg *message) bool {
-	if !c.linked(msg.from, dst) {
+	if c.down[dst] || !c.linked(msg.from, dst) || msg.readyAt > c.now {
 		return false
 	}
 	if !c.causal {
@@ -157,17 +228,64 @@ func (c *Cluster) Deliverable(dst model.NodeID) []model.MsgID {
 	return out
 }
 
-// Deliver applies the in-flight effector mid at node dst and records the
-// delivery event.
+// missing classifies why mid is not in dst's queue.
+func (c *Cluster) missing(verb string, dst model.NodeID, mid model.MsgID) error {
+	switch {
+	case c.applied[dst][mid]:
+		return fmt.Errorf("sim: %s %s at %s: %w", verb, mid, dst, ErrAlreadyDelivered)
+	case c.dropped[dst][mid]:
+		return fmt.Errorf("sim: %s %s at %s: %w", verb, mid, dst, ErrAlreadyDropped)
+	default:
+		return fmt.Errorf("sim: %s %s at %s: %w", verb, mid, dst, ErrUnknownMessage)
+	}
+}
+
+// Deliver consumes one queued copy of message mid at node dst. The first
+// copy applies the effector and records the delivery event; further copies
+// (queued by duplication faults) are suppressed by the at-most-once delivery
+// layer without reapplying. Deliver refuses crashed destinations, severed
+// links, unelapsed latency windows, and causal-order violations with the
+// matching sentinel errors.
 func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
+	if int(dst) < 0 || int(dst) >= len(c.states) {
+		return fmt.Errorf("sim: no such node %s", dst)
+	}
+	if c.down[dst] {
+		return fmt.Errorf("sim: deliver %s to %s: %w", mid, dst, ErrNodeDown)
+	}
 	msg, ok := c.inbox[dst][mid]
 	if !ok {
-		return fmt.Errorf("sim: no pending message %s for node %s", mid, dst)
+		return c.missing("deliver", dst, mid)
 	}
-	if !c.deliverable(dst, msg) {
-		return fmt.Errorf("sim: delivering %s to %s would violate causal delivery", mid, dst)
+	if !c.linked(msg.from, dst) {
+		return fmt.Errorf("sim: deliver %s to %s: %w", mid, dst, ErrPartitioned)
 	}
-	delete(c.inbox[dst], mid)
+	if msg.readyAt > c.now {
+		return fmt.Errorf("sim: deliver %s to %s: %w (arrives at tick %d, now %d)",
+			mid, dst, ErrInTransit, msg.readyAt, c.now)
+	}
+	if c.causal {
+		for dep := range msg.deps {
+			if !c.applied[dst][dep] {
+				return fmt.Errorf("sim: deliver %s to %s: %w", mid, dst, ErrCausalOrder)
+			}
+		}
+	}
+	// Consume one network copy. Messages are shared across Clones, so a
+	// partially consumed duplicate is replaced copy-on-write.
+	if msg.copies > 1 {
+		cp := *msg
+		cp.copies--
+		c.inbox[dst][mid] = &cp
+	} else {
+		delete(c.inbox[dst], mid)
+	}
+	if c.applied[dst][mid] {
+		// At-most-once: a duplicated copy arrives after the effector was
+		// applied; suppress it without reapplying or recording an event.
+		c.stats.DupSuppressed++
+		return nil
+	}
 	c.states[dst] = msg.eff.Apply(c.states[dst])
 	c.applied[dst][mid] = true
 	c.tr = append(c.tr, trace.Event{
@@ -176,21 +294,39 @@ func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
 	return nil
 }
 
-// Drop discards the in-flight effector mid addressed to dst; it will never
-// be delivered (the paper allows messages to be lost).
+// Drop discards every remaining queued copy of the in-flight effector mid
+// addressed to dst; it will never be delivered (the paper allows messages to
+// be lost). Dropping a message that was never queued, was already delivered,
+// or was already dropped fails with ErrUnknownMessage, ErrAlreadyDelivered,
+// or ErrAlreadyDropped respectively.
 func (c *Cluster) Drop(dst model.NodeID, mid model.MsgID) error {
+	if int(dst) < 0 || int(dst) >= len(c.states) {
+		return fmt.Errorf("sim: no such node %s", dst)
+	}
 	if _, ok := c.inbox[dst][mid]; !ok {
-		return fmt.Errorf("sim: no pending message %s for node %s", mid, dst)
+		return c.missing("drop", dst, mid)
 	}
 	delete(c.inbox[dst], mid)
+	c.dropped[dst][mid] = true
 	return nil
 }
 
-// Pending returns the total number of undelivered messages.
+// Pending returns the total number of undelivered message copies.
 func (c *Cluster) Pending() int {
 	n := 0
 	for _, box := range c.inbox {
-		n += len(box)
+		for _, m := range box {
+			n += m.copies
+		}
+	}
+	return n
+}
+
+// PendingTo returns the number of undelivered message copies addressed to dst.
+func (c *Cluster) PendingTo(dst model.NodeID) int {
+	n := 0
+	for _, m := range c.inbox[dst] {
+		n += m.copies
 	}
 	return n
 }
@@ -218,9 +354,31 @@ func (c *Cluster) DeliverRandom(rng *rand.Rand) bool {
 	return true
 }
 
-// DeliverAll drains every in-flight message (in causal mode, repeatedly
-// delivering whatever is deliverable until quiescent). It panics if messages
-// remain undeliverable, which would indicate a dependency-tracking bug.
+// nextArrival returns the earliest future arrival tick among queued messages
+// that are not blocked by a partition or a crashed destination.
+func (c *Cluster) nextArrival() (int, bool) {
+	best, found := 0, false
+	for dst, box := range c.inbox {
+		if c.down[dst] {
+			continue
+		}
+		for _, m := range box {
+			if !c.linked(m.from, model.NodeID(dst)) {
+				continue
+			}
+			if m.readyAt > c.now && (!found || m.readyAt < best) {
+				best, found = m.readyAt, true
+			}
+		}
+	}
+	return best, found
+}
+
+// DeliverAll drains every in-flight message copy (in causal mode, repeatedly
+// delivering whatever is deliverable until quiescent), advancing the virtual
+// clock past latency windows as needed. Messages blocked by a partition or a
+// crashed node legitimately wait for Heal/Recover; anything else left
+// undeliverable indicates a dependency-tracking bug and panics.
 func (c *Cluster) DeliverAll() {
 	for c.Pending() > 0 {
 		progress := false
@@ -232,8 +390,14 @@ func (c *Cluster) DeliverAll() {
 			}
 		}
 		if !progress {
-			if c.Partitioned() {
-				return // cross-partition messages legitimately wait for Heal
+			// Copies still inside a latency window become deliverable once
+			// the clock reaches their arrival tick: jump there and retry.
+			if next, ok := c.nextArrival(); ok && next > c.now {
+				c.now = next
+				continue
+			}
+			if c.Partitioned() || c.anyDown() {
+				return // blocked messages legitimately wait for Heal/Recover
 			}
 			panic("sim: undeliverable messages remain (broken causal dependencies)")
 		}

@@ -30,6 +30,12 @@ type Workload struct {
 	// given destination instead of being queued (default 0). Not compatible
 	// with FinalDrain deadlocking: drops happen before queuing.
 	DropProb float64
+	// Link, when active, applies seeded link faults (loss-with-retransmit,
+	// bounded duplication, reorder delays) to every broadcast copy; the
+	// workload seed drives the fault RNG, so runs stay reproducible. The
+	// scheduler advances the virtual clock one tick per step, and
+	// FinalDrain outwaits any remaining latency windows.
+	Link LinkFaults
 	// Causal enables causal delivery.
 	Causal bool
 	// FinalDrain delivers every remaining message at the end so the cluster
@@ -63,6 +69,9 @@ func (w Workload) Run(seed int64) *Cluster {
 	var opts []Option
 	if w.Causal {
 		opts = append(opts, WithCausalDelivery())
+	}
+	if w.Link.Active() {
+		opts = append(opts, WithLinkFaults(w.Link, seed))
 	}
 	c := NewCluster(w.Object, nodes, opts...)
 	freshID := 0
@@ -102,6 +111,7 @@ func (w Workload) Run(seed int64) *Cluster {
 		if !issued && c.Pending() > 0 {
 			c.DeliverRandom(rng)
 		}
+		c.Tick()
 	}
 	if w.FinalDrain {
 		c.DeliverAll()
