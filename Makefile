@@ -27,10 +27,13 @@ race:
 	go test -short -race ./...
 
 # Mirror of the CI workflow's push/PR job (.github/workflows/ci.yml).
+# staticcheck runs when installed (CI installs it; locally it is optional —
+# nothing here fetches dependencies).
 ci:
 	go build ./...
 	go vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	go test -short -race ./...
 
 # Mirror of CI's chaos + fuzz smoke: seeded fault-injection runs over every
@@ -46,12 +49,17 @@ chaos:
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzCheckACC$$' -fuzztime 30s ./internal/core/
 	go test -run '^$$' -fuzz '^FuzzClusterDelivery$$' -fuzztime 30s ./internal/sim/
+	go test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime 30s ./internal/codec/
 
 soak:
 	go test -run TestSoak ./internal/conformance/
 
+# Full benchmark sweep; also regenerates the checked-in machine-readable
+# explorer ablation (BENCH_explore.json) that the nightly CI job uploads.
 bench:
-	go test -bench=. -benchmem .
+	go test -bench=. -benchmem . > bench.out; status=$$?; cat bench.out; \
+	  [ $$status -eq 0 ] && go run ./cmd/bench-report -json -group ExploreParallel -out BENCH_explore.json < bench.out; \
+	  rm -f bench.out; exit $$status
 
 # Pipe benchmarks through the markdown renderer.
 bench-md:

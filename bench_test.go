@@ -20,6 +20,7 @@ import (
 	"math/big"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/absmachine"
@@ -538,6 +539,60 @@ func BenchmarkExploreParallel(b *testing.B) {
 			}
 		})
 	}
+	// Dedup-key ablation: the per-configuration cost of the seen-set key on
+	// the explorers' hot path — the fmt-rendered Key string the seed used vs
+	// the 64-bit fingerprint of the canonical binary encoding used now. The
+	// snapshots include mid-schedule configurations with pending messages, so
+	// both keyings cover the message fields, not just replica states.
+	snaps := exploreSnapshots(alg, script)
+	b.Run("dedup-key/string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := make(map[string]bool, len(snaps))
+			for j, c := range snaps {
+				seen[strconv.Itoa(j%8)+"|"+c.Key()] = true
+			}
+			if len(seen) != len(snaps) {
+				b.Fatalf("string keys collided: %d of %d", len(seen), len(snaps))
+			}
+		}
+	})
+	b.Run("dedup-key/fingerprint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := make(map[uint64]bool, len(snaps))
+			for j, c := range snaps {
+				seen[c.Fingerprint(uint64(j%8))] = true
+			}
+			if len(seen) != len(snaps) {
+				b.Fatalf("fingerprints collided: %d of %d", len(seen), len(snaps))
+			}
+		}
+	})
+}
+
+// exploreSnapshots walks one delivery schedule of script, cloning the cluster
+// after every invoke and after each single delivery — a spread of distinct
+// configurations (including ones with undelivered copies) matching what the
+// explorers fingerprint.
+func exploreSnapshots(alg registry.Algorithm, script sim.Script) []*sim.Cluster {
+	var out []*sim.Cluster
+	c := sim.NewCluster(alg.New(), 3)
+	out = append(out, c.Clone())
+	for _, so := range script {
+		if _, _, err := c.Invoke(so.Node, so.Op); err == nil {
+			out = append(out, c.Clone())
+		}
+		for dst := 0; dst < 3; dst++ {
+			if mids := c.Deliverable(model.NodeID(dst)); len(mids) > 0 {
+				if err := c.Deliver(model.NodeID(dst), mids[0]); err == nil {
+					out = append(out, c.Clone())
+				}
+			}
+		}
+	}
+	c.DeliverAll()
+	return append(out, c.Clone())
 }
 
 // BenchmarkFW1_XLogicProof measures the prototype X-wins client-logic proof

@@ -1,11 +1,15 @@
 // Command bench-report turns `go test -bench` output into the markdown
-// tables EXPERIMENTS.md records, grouping sub-benchmarks under their parent:
+// tables EXPERIMENTS.md records — or, with -json, into the machine-readable
+// arrays checked in as BENCH_*.json — grouping sub-benchmarks under their
+// parent:
 //
 //	go test -bench=. -benchmem . | go run ./cmd/bench-report
+//	go test -bench=ExploreParallel . | go run ./cmd/bench-report -json -group ExploreParallel -out BENCH_explore.json
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,14 +17,40 @@ import (
 )
 
 func main() {
+	var (
+		asJSON = flag.Bool("json", false, "emit JSON rows instead of markdown tables")
+		out    = flag.String("out", "", "write to this file instead of stdout")
+		group  = flag.String("group", "", "keep only rows of this benchmark group (name without the Benchmark prefix)")
+	)
+	flag.Parse()
 	rows, err := benchreport.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
 		os.Exit(1)
 	}
+	if *group != "" {
+		rows = benchreport.Filter(rows, *group)
+	}
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "bench-report: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	fmt.Print(benchreport.Markdown(rows))
+	var rendered []byte
+	if *asJSON {
+		rendered, err = benchreport.JSON(rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rendered = []byte(benchreport.Markdown(rows))
+	}
+	if *out == "" {
+		os.Stdout.Write(rendered)
+		return
+	}
+	if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -8,12 +8,14 @@
 //
 // Chaos mode runs deterministic scripted executions under seeded fault
 // plans — message loss (with retransmission), bounded duplication, reorder
-// windows, transient partitions and node crash/recovery — and checks that
-// the replicas still converge once the faults heal and delivery quiesces.
-// Every run is replayable: the same flags always produce the same script,
-// plan, trace and verdict, and the first seed is executed twice to prove it.
+// windows, payload corruption (the cluster ships canonically encoded bytes;
+// a flipped bit is rejected by the decoder and retransmitted), transient
+// partitions and node crash/recovery — and checks that the replicas still
+// converge once the faults heal and delivery quiesces. Every run is
+// replayable: the same flags always produce the same script, plan, trace
+// and verdict, and the first seed is executed twice to prove it.
 //
-//	crdt-sim -chaos -algo rga -nodes 3 -ops 12 -seed 1 -seeds 10 [-loss 0.2] [-dup 0.3] [-delay 3] [-v]
+//	crdt-sim -chaos -algo rga -nodes 3 -ops 12 -seed 1 -seeds 10 [-loss 0.2] [-dup 0.3] [-delay 3] [-corrupt 0.3] [-v]
 package main
 
 import (
@@ -37,12 +39,13 @@ func main() {
 		drop  = flag.Float64("drop", 0, "per-destination message drop probability (disables the final drain)")
 		verb  = flag.Bool("v", false, "print the trace of the first run")
 
-		chaos = flag.Bool("chaos", false, "chaos mode: scripted runs under seeded fault plans")
-		seed  = flag.Int64("seed", 1, "chaos mode: base seed (runs use seed..seed+seeds-1)")
-		ops   = flag.Int("ops", 12, "chaos mode: scripted operations per run")
-		loss  = flag.Float64("loss", -1, "chaos mode: override plan link loss probability (-1 = from plan)")
-		dup   = flag.Float64("dup", -1, "chaos mode: override plan link duplication probability (-1 = from plan)")
-		delay = flag.Int("delay", -1, "chaos mode: override plan reorder window in ticks (-1 = from plan)")
+		chaos   = flag.Bool("chaos", false, "chaos mode: scripted runs under seeded fault plans")
+		seed    = flag.Int64("seed", 1, "chaos mode: base seed (runs use seed..seed+seeds-1)")
+		ops     = flag.Int("ops", 12, "chaos mode: scripted operations per run")
+		loss    = flag.Float64("loss", -1, "chaos mode: override plan link loss probability (-1 = from plan)")
+		dup     = flag.Float64("dup", -1, "chaos mode: override plan link duplication probability (-1 = from plan)")
+		delay   = flag.Int("delay", -1, "chaos mode: override plan reorder window in ticks (-1 = from plan)")
+		corrupt = flag.Float64("corrupt", -1, "chaos mode: override plan payload-corruption probability (-1 = from plan)")
 	)
 	flag.Parse()
 	alg, ok := registry.ByName(*algo)
@@ -51,13 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 	if *chaos {
-		os.Exit(runChaos(alg, *nodes, *ops, *seed, *seeds, *loss, *dup, *delay, *verb))
+		os.Exit(runChaos(alg, *nodes, *ops, *seed, *seeds, *loss, *dup, *delay, *corrupt, *verb))
 	}
 	os.Exit(runRandom(alg, *nodes, *steps, *seeds, *drop, *verb))
 }
 
 // runChaos executes chaos mode and returns the process exit code.
-func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, loss, dup float64, delay int, verb bool) int {
+func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, loss, dup float64, delay int, corrupt float64, verb bool) int {
 	fmt.Printf("chaos: algorithm %s (spec %s", alg.Name, alg.Spec.Name())
 	if alg.NeedsCausal {
 		fmt.Printf(", causal delivery")
@@ -80,10 +83,14 @@ func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, los
 		if delay >= 0 {
 			plan.Link.DelayMax = delay
 		}
+		if corrupt >= 0 {
+			plan.Link.Corrupt = corrupt
+		}
 		run := func() (*sim.ChaosReport, error) {
 			return sim.Chaos{
 				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
 				Nodes: nodes, Seed: s, Causal: alg.NeedsCausal,
+				Decode: alg.DecodeEffector,
 			}.Run()
 		}
 		rep, err := run()

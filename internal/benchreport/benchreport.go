@@ -1,9 +1,11 @@
 // Package benchreport parses `go test -bench` output and renders it as the
-// markdown tables EXPERIMENTS.md records.
+// markdown tables EXPERIMENTS.md records or as the JSON arrays the nightly
+// CI job archives (BENCH_*.json).
 package benchreport
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,15 +16,26 @@ import (
 type Row struct {
 	// Group is the top-level benchmark name (without the Benchmark prefix);
 	// Case is the sub-benchmark path, empty for flat benchmarks.
-	Group string
-	Case  string
+	Group string `json:"group"`
+	Case  string `json:"case,omitempty"`
 	// Iterations is the b.N the result was measured over.
-	Iterations int64
+	Iterations int64 `json:"iterations"`
 	// NsPerOp is the reported ns/op.
-	NsPerOp float64
+	NsPerOp float64 `json:"ns_per_op"`
 	// BytesPerOp and AllocsPerOp are -benchmem extras (0 when absent).
-	BytesPerOp  int64
-	AllocsPerOp int64
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Filter returns the rows whose Group equals group.
+func Filter(rows []Row, group string) []Row {
+	var out []Row
+	for _, r := range rows {
+		if r.Group == group {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Parse reads benchmark lines from r. Non-benchmark lines are ignored.
@@ -88,6 +101,17 @@ func Duration(ns float64) string {
 	default:
 		return fmt.Sprintf("%.2f s", ns/1e9)
 	}
+}
+
+// JSON renders the rows as an indented JSON array — the machine-readable
+// form checked in as BENCH_*.json and uploaded by the nightly CI job, so
+// regressions can be diffed across commits.
+func JSON(rows []Row) ([]byte, error) {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Markdown renders the rows as one markdown table per group, preserving the

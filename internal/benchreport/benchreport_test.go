@@ -1,6 +1,7 @@
 package benchreport
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,30 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	rows, err := Parse(strings.NewReader("hello\nBenchmarkBad abc ns/op\nBenchmarkX 5\n"))
 	if err != nil || len(rows) != 0 {
 		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+}
+
+func TestFilterAndJSON(t *testing.T) {
+	rows, _ := Parse(strings.NewReader(sample))
+	only := Filter(rows, "Fig3_ACCDecision")
+	if len(only) != 2 || only[0].Case != "exhaustive" || only[1].Case != "witness" {
+		t.Fatalf("filter = %+v", only)
+	}
+	if len(Filter(rows, "no-such-group")) != 0 {
+		t.Fatal("filter matched a missing group")
+	}
+	b, err := JSON(only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Row
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(back) != 2 || back[0] != only[0] || back[1] != only[1] {
+		t.Fatalf("JSON round-trip = %+v", back)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Fatal("JSON output must end with a newline")
 	}
 }

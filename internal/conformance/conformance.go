@@ -11,21 +11,29 @@
 //  5. exhaustive schedule exploration of small scripts (parallel explorer
 //     cross-checked against the sequential oracle);
 //  6. fault-injection convergence: scripted runs under seeded fault plans
-//     (loss, duplication, reorder, partitions, crash/recovery) still reach
-//     one abstract value once faults heal, and replay deterministically;
-//  7. contextual refinement on a client program (the Abstraction Theorem's
+//     (loss, duplication, reorder, partitions, crash/recovery, payload
+//     corruption) still reach one abstract value once faults heal, and
+//     replay deterministically;
+//  7. codec round-trip: every op, return value, effector and replica state
+//     reached by drained runs survives decode(encode(x)) == x through the
+//     canonical binary codec, and converged replicas encode byte-equal
+//     (the canonical-form guarantee);
+//  8. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
 package conformance
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/crdts/registry"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/proofmethod"
 	"repro/internal/refine"
 	"repro/internal/sim"
@@ -154,7 +162,13 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// whole run must replay byte-for-byte from (script, seed, plan).
 	add("fault-injection convergence", chaosChecks(alg, cfg))
 
-	// 7. Client refinement.
+	// 7. Codec round-trip: the canonical binary encoding is lossless and
+	// canonical on everything drained runs reach — ops, return values,
+	// effectors and replica states — and converged replicas encode
+	// byte-equal.
+	add("codec round-trip", codecChecks(alg, cfg))
+
+	// 8. Client refinement.
 	if cfg.Client == "" {
 		skip("contextual refinement (Thm 7)", "no client program supplied")
 	} else {
@@ -282,6 +296,7 @@ func chaosChecks(alg registry.Algorithm, cfg Config) error {
 			return sim.Chaos{
 				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
 				Nodes: nodes, Seed: seed, Causal: alg.NeedsCausal,
+				Decode: alg.DecodeEffector,
 			}.Run()
 		}
 		rep, err := run()
@@ -308,6 +323,100 @@ func chaosChecks(alg registry.Algorithm, cfg Config) error {
 			}
 			if rep2.Trace.String() != rep.Trace.String() || rep2.Stats != rep.Stats || rep2.Ticks != rep.Ticks {
 				return fmt.Errorf("seed %d (plan %s): chaos run is not reproducible from (script, seed, plan)", seed, plan)
+			}
+		}
+	}
+	return nil
+}
+
+// codecChecks runs the codec round-trip battery item. For each seed it
+// generates a script, executes it fully drained on a byte-shipping cluster
+// (WithWireCodec, so every broadcast already exercises encode→frame→decode in
+// transit), and then requires, for everything the run reached:
+//
+//   - ops and return values: DecodeOp/DecodeValue invert AppendOp/AppendValue
+//     and re-encoding reproduces the exact bytes;
+//   - effectors: the registered EffectorDecoder inverts AppendBinary, the
+//     decoded effector re-encodes byte-equal and renders the same String;
+//   - replica states: the registered StateDecoder inverts AppendBinary, the
+//     decoded state re-encodes byte-equal and keeps the same Key;
+//   - canonical form: after the drain all replicas are equal, so their
+//     encodings must be byte-equal too (equal objects ⇒ equal bytes).
+func codecChecks(alg registry.Algorithm, cfg Config) error {
+	if alg.DecodeState == nil || alg.DecodeEffector == nil {
+		return fmt.Errorf("algorithm bundle registers no codec decoders")
+	}
+	const nodes = 3
+	ops := cfg.Steps / 4
+	if ops < 6 {
+		ops = 6
+	}
+	if ops > 12 {
+		ops = 12
+	}
+	seeds := cfg.Seeds
+	if seeds > 4 {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		opts := []sim.Option{sim.WithWireCodec(alg.DecodeEffector)}
+		if alg.NeedsCausal {
+			opts = append(opts, sim.WithCausalDelivery())
+		}
+		c := sim.NewCluster(alg.New(), nodes, opts...)
+		for i, so := range script {
+			if _, _, err := c.Invoke(so.Node, so.Op); err != nil {
+				return fmt.Errorf("seed %d: script op %d: %w", seed, i, err)
+			}
+			c.DeliverAll()
+		}
+		for i, ev := range c.Trace() {
+			enc := codec.AppendOp(nil, ev.Op)
+			op, rest, err := codec.DecodeOp(enc)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("seed %d event %d: op %s did not round-trip: %v", seed, i, ev.Op, err)
+			}
+			if !bytes.Equal(codec.AppendOp(nil, op), enc) {
+				return fmt.Errorf("seed %d event %d: op %s re-encoded differently", seed, i, ev.Op)
+			}
+			enc = codec.AppendValue(nil, ev.Ret)
+			v, rest, err := codec.DecodeValue(enc)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("seed %d event %d: value %s did not round-trip: %v", seed, i, ev.Ret, err)
+			}
+			if !bytes.Equal(codec.AppendValue(nil, v), enc) {
+				return fmt.Errorf("seed %d event %d: value %s re-encoded differently", seed, i, ev.Ret)
+			}
+			enc = ev.Eff.AppendBinary(nil)
+			eff, err := alg.DecodeEffector(enc)
+			if err != nil {
+				return fmt.Errorf("seed %d event %d: effector %s did not decode: %w", seed, i, ev.Eff, err)
+			}
+			if !bytes.Equal(eff.AppendBinary(nil), enc) {
+				return fmt.Errorf("seed %d event %d: effector %s re-encoded differently", seed, i, ev.Eff)
+			}
+			if eff.String() != ev.Eff.String() {
+				return fmt.Errorf("seed %d event %d: effector decoded to %s, want %s", seed, i, eff, ev.Eff)
+			}
+		}
+		var canonical []byte
+		for t := 0; t < nodes; t++ {
+			enc := c.StateOf(model.NodeID(t)).AppendBinary(nil)
+			st, err := alg.DecodeState(enc)
+			if err != nil {
+				return fmt.Errorf("seed %d: node %d state did not decode: %w", seed, t, err)
+			}
+			if !bytes.Equal(st.AppendBinary(nil), enc) {
+				return fmt.Errorf("seed %d: node %d state re-encoded differently", seed, t)
+			}
+			if st.Key() != c.StateOf(model.NodeID(t)).Key() {
+				return fmt.Errorf("seed %d: node %d state decoded to a different Key", seed, t)
+			}
+			if t == 0 {
+				canonical = enc
+			} else if !bytes.Equal(enc, canonical) {
+				return fmt.Errorf("seed %d: converged replicas 0 and %d encode differently — canonical form violated", seed, t)
 			}
 		}
 	}

@@ -12,10 +12,10 @@ import (
 )
 
 // TestAllAlgorithmsConform: the full battery passes for all nine algorithms,
-// with the applicable client programs. The battery has 9 checks: spec
+// with the applicable client programs. The battery has 10 checks: spec
 // well-formedness (×3), CRDT-TS obligations, witness + SEC, exhaustive
 // bounded decision, parallel schedule exploration, fault-injection
-// convergence, and client refinement.
+// convergence, codec round-trip, and client refinement.
 func TestAllAlgorithmsConform(t *testing.T) {
 	clients := map[string]string{
 		"counter":  `node t1 { inc(1); x := read(); } node t2 { dec(1); y := read(); }`,
@@ -33,8 +33,8 @@ func TestAllAlgorithmsConform(t *testing.T) {
 			if err := rep.Err(); err != nil {
 				t.Fatalf("%v\n%s", err, rep)
 			}
-			if len(rep.Checks) != 9 {
-				t.Fatalf("checks = %d, want 9", len(rep.Checks))
+			if len(rep.Checks) != 10 {
+				t.Fatalf("checks = %d, want 10", len(rep.Checks))
 			}
 		})
 	}
@@ -65,9 +65,13 @@ func (d divergingEff) Apply(s crdt.State) crdt.State {
 }
 func (d divergingEff) String() string { return fmt.Sprintf("Div(%d)", d.N) }
 
+func (d divergingEff) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
+
 type divState struct{ V int64 }
 
 func (s divState) Key() string { return fmt.Sprintf("div{%d}", s.V) }
+
+func (s divState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
 
 type divObject struct{}
 

@@ -423,6 +423,8 @@ type brokenState struct{ Elems *model.ValueSet }
 
 func (s brokenState) Key() string { return "broken" + s.Elems.Key() }
 
+func (s brokenState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
+
 type brokenAdd struct{ E model.Value }
 
 func (d brokenAdd) Apply(s crdt.State) crdt.State {
@@ -433,6 +435,8 @@ func (d brokenAdd) Apply(s crdt.State) crdt.State {
 }
 func (d brokenAdd) String() string { return "BrokenAdd(" + d.E.String() + ")" }
 
+func (d brokenAdd) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
+
 type brokenRmv struct{ E model.Value }
 
 func (d brokenRmv) Apply(s crdt.State) crdt.State {
@@ -442,6 +446,8 @@ func (d brokenRmv) Apply(s crdt.State) crdt.State {
 	return brokenState{Elems: out}
 }
 func (d brokenRmv) String() string { return "BrokenRmv(" + d.E.String() + ")" }
+
+func (d brokenRmv) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
 
 func (brokenSet) Name() string     { return "broken-set" }
 func (brokenSet) Init() crdt.State { return brokenState{Elems: model.NewValueSet()} }

@@ -12,10 +12,14 @@ type stubState struct{ n int }
 
 func (s stubState) Key() string { return string(rune('0' + s.n)) }
 
+func (s stubState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
+
 type stubEff struct{ d int }
 
 func (e stubEff) Apply(s State) State { return stubState{n: s.(stubState).n + e.d} }
 func (e stubEff) String() string      { return "Stub" }
+
+func (e stubEff) AppendBinary(b []byte) []byte { return append(b, e.String()...) }
 
 type stubObject struct{}
 

@@ -1,0 +1,55 @@
+package counter
+
+import (
+	"repro/internal/codec"
+	"repro/internal/crdt"
+)
+
+// Effector tags (0 is crdt.IdEff).
+const tagAdd byte = 1
+
+// AppendBinary implements crdt.State: the counter value.
+func (s State) AppendBinary(b []byte) []byte { return codec.AppendVarint(b, s.V) }
+
+// AppendBinary implements crdt.Effector: the (possibly negative) delta.
+func (d AddEff) AppendBinary(b []byte) []byte {
+	return codec.AppendVarint(append(b, tagAdd), d.N)
+}
+
+// DecodeState decodes a counter state encoded by State.AppendBinary.
+func DecodeState(b []byte) (crdt.State, error) {
+	v, rest, err := codec.DecodeVarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	return State{V: v}, nil
+}
+
+// DecodeEffector decodes a counter effector encoded by AppendBinary.
+func DecodeEffector(b []byte) (crdt.Effector, error) {
+	tag, rest, err := codec.DecodeTag(b)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case codec.TagIdentity:
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return crdt.IdEff{}, nil
+	case tagAdd:
+		n, rest, err := codec.DecodeVarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return AddEff{N: n}, nil
+	default:
+		return nil, codec.BadTag(tag)
+	}
+}

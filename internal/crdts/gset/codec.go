@@ -1,0 +1,55 @@
+package gset
+
+import (
+	"repro/internal/codec"
+	"repro/internal/crdt"
+)
+
+// Effector tags (0 is crdt.IdEff).
+const tagAdd byte = 1
+
+// AppendBinary implements crdt.State: the element set in canonical order.
+func (s State) AppendBinary(b []byte) []byte { return codec.AppendValueSet(b, s.Elems) }
+
+// AppendBinary implements crdt.Effector: the added element.
+func (d AddEff) AppendBinary(b []byte) []byte {
+	return codec.AppendValue(append(b, tagAdd), d.E)
+}
+
+// DecodeState decodes a g-set state encoded by State.AppendBinary.
+func DecodeState(b []byte) (crdt.State, error) {
+	elems, rest, err := codec.DecodeValueSet(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	return State{Elems: elems}, nil
+}
+
+// DecodeEffector decodes a g-set effector encoded by AppendBinary.
+func DecodeEffector(b []byte) (crdt.Effector, error) {
+	tag, rest, err := codec.DecodeTag(b)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case codec.TagIdentity:
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return crdt.IdEff{}, nil
+	case tagAdd:
+		e, rest, err := codec.DecodeValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return AddEff{E: e}, nil
+	default:
+		return nil, codec.BadTag(tag)
+	}
+}

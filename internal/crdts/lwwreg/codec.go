@@ -1,0 +1,67 @@
+package lwwreg
+
+import (
+	"repro/internal/codec"
+	"repro/internal/crdt"
+)
+
+// Effector tags (0 is crdt.IdEff).
+const tagWrite byte = 1
+
+// AppendBinary implements crdt.State: current value, then its stamp.
+func (s State) AppendBinary(b []byte) []byte {
+	b = codec.AppendValue(b, s.Cur)
+	return codec.AppendStamp(b, s.TS)
+}
+
+// AppendBinary implements crdt.Effector: written value, then its stamp.
+func (d WrEff) AppendBinary(b []byte) []byte {
+	b = codec.AppendValue(append(b, tagWrite), d.V)
+	return codec.AppendStamp(b, d.I)
+}
+
+// DecodeState decodes an LWW-register state encoded by State.AppendBinary.
+func DecodeState(b []byte) (crdt.State, error) {
+	cur, rest, err := codec.DecodeValue(b)
+	if err != nil {
+		return nil, err
+	}
+	ts, rest, err := codec.DecodeStamp(rest)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	return State{Cur: cur, TS: ts}, nil
+}
+
+// DecodeEffector decodes an LWW-register effector encoded by AppendBinary.
+func DecodeEffector(b []byte) (crdt.Effector, error) {
+	tag, rest, err := codec.DecodeTag(b)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case codec.TagIdentity:
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return crdt.IdEff{}, nil
+	case tagWrite:
+		v, rest, err := codec.DecodeValue(rest)
+		if err != nil {
+			return nil, err
+		}
+		i, rest, err := codec.DecodeStamp(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return WrEff{V: v, I: i}, nil
+	default:
+		return nil, codec.BadTag(tag)
+	}
+}

@@ -1,0 +1,55 @@
+package maxreg
+
+import (
+	"repro/internal/codec"
+	"repro/internal/crdt"
+)
+
+// Effector tags (0 is crdt.IdEff).
+const tagWrite byte = 1
+
+// AppendBinary implements crdt.State: the maximum seen.
+func (s State) AppendBinary(b []byte) []byte { return codec.AppendVarint(b, s.V) }
+
+// AppendBinary implements crdt.Effector: the written value.
+func (d WriteEff) AppendBinary(b []byte) []byte {
+	return codec.AppendVarint(append(b, tagWrite), d.N)
+}
+
+// DecodeState decodes a max-register state encoded by State.AppendBinary.
+func DecodeState(b []byte) (crdt.State, error) {
+	v, rest, err := codec.DecodeVarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	return State{V: v}, nil
+}
+
+// DecodeEffector decodes a max-register effector encoded by AppendBinary.
+func DecodeEffector(b []byte) (crdt.Effector, error) {
+	tag, rest, err := codec.DecodeTag(b)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case codec.TagIdentity:
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return crdt.IdEff{}, nil
+	case tagWrite:
+		n, rest, err := codec.DecodeVarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return WriteEff{N: n}, nil
+	default:
+		return nil, codec.BadTag(tag)
+	}
+}

@@ -54,6 +54,13 @@ type Algorithm struct {
 	NeedsCausal bool
 	// GenOp generates random workload operations.
 	GenOp OpGen
+	// DecodeState decodes a replica state from its canonical encoding
+	// (State.AppendBinary). Snapshot/state-transfer work builds on it.
+	DecodeState crdt.StateDecoder
+	// DecodeEffector decodes an effector from its canonical wire encoding
+	// (Effector.AppendBinary); sim.Cluster uses it to decode shipped
+	// payloads.
+	DecodeEffector crdt.EffectorDecoder
 	// Universe samples operations and abstract states for Def 1 and the
 	// Sec 9 well-formedness checks.
 	Universe func() spec.Universe
@@ -117,12 +124,14 @@ func ByName(name string) (Algorithm, bool) {
 // MaxRegister returns the max-register extension bundle (not in the paper).
 func MaxRegister() Algorithm {
 	return Algorithm{
-		Name:    "max-register",
-		New:     func() crdt.Object { return maxreg.New() },
-		Abs:     maxreg.Abs,
-		Spec:    maxreg.Spec{},
-		TSOrder: maxreg.TSOrder,
-		View:    maxreg.View,
+		Name:           "max-register",
+		New:            func() crdt.Object { return maxreg.New() },
+		DecodeState:    maxreg.DecodeState,
+		DecodeEffector: maxreg.DecodeEffector,
+		Abs:            maxreg.Abs,
+		Spec:           maxreg.Spec{},
+		TSOrder:        maxreg.TSOrder,
+		View:           maxreg.View,
 		GenOp: func(rng *rand.Rand, _ crdt.State, _ crdt.Abstraction, _ []model.Value, _ func() model.Value) model.Op {
 			if rng.Intn(3) == 0 {
 				return model.Op{Name: spec.OpRead}
@@ -144,126 +153,144 @@ func MaxRegister() Algorithm {
 // Counter returns the replicated counter bundle.
 func Counter() Algorithm {
 	return Algorithm{
-		Name:     "counter",
-		New:      func() crdt.Object { return counter.New() },
-		Abs:      counter.Abs,
-		Spec:     counter.Spec(),
-		TSOrder:  counter.TSOrder,
-		View:     counter.View,
-		GenOp:    counterGen,
-		Universe: func() spec.Universe { return spec.CounterUniverse() },
+		Name:           "counter",
+		New:            func() crdt.Object { return counter.New() },
+		DecodeState:    counter.DecodeState,
+		DecodeEffector: counter.DecodeEffector,
+		Abs:            counter.Abs,
+		Spec:           counter.Spec(),
+		TSOrder:        counter.TSOrder,
+		View:           counter.View,
+		GenOp:          counterGen,
+		Universe:       func() spec.Universe { return spec.CounterUniverse() },
 	}
 }
 
 // GSet returns the grow-only set bundle.
 func GSet() Algorithm {
 	return Algorithm{
-		Name:     "g-set",
-		New:      func() crdt.Object { return gset.New() },
-		Abs:      gset.Abs,
-		Spec:     gset.Spec(),
-		TSOrder:  gset.TSOrder,
-		View:     gset.View,
-		GenOp:    setGen(false),
-		Universe: func() spec.Universe { return spec.SetUniverse(false) },
+		Name:           "g-set",
+		New:            func() crdt.Object { return gset.New() },
+		DecodeState:    gset.DecodeState,
+		DecodeEffector: gset.DecodeEffector,
+		Abs:            gset.Abs,
+		Spec:           gset.Spec(),
+		TSOrder:        gset.TSOrder,
+		View:           gset.View,
+		GenOp:          setGen(false),
+		Universe:       func() spec.Universe { return spec.SetUniverse(false) },
 	}
 }
 
 // LWWRegister returns the last-writer-wins register bundle.
 func LWWRegister() Algorithm {
 	return Algorithm{
-		Name:     "lww-register",
-		New:      func() crdt.Object { return lwwreg.New() },
-		Abs:      lwwreg.Abs,
-		Spec:     lwwreg.Spec(),
-		TSOrder:  lwwreg.TSOrder,
-		View:     lwwreg.View,
-		GenOp:    registerGen,
-		Universe: func() spec.Universe { return spec.RegisterUniverse() },
+		Name:           "lww-register",
+		New:            func() crdt.Object { return lwwreg.New() },
+		DecodeState:    lwwreg.DecodeState,
+		DecodeEffector: lwwreg.DecodeEffector,
+		Abs:            lwwreg.Abs,
+		Spec:           lwwreg.Spec(),
+		TSOrder:        lwwreg.TSOrder,
+		View:           lwwreg.View,
+		GenOp:          registerGen,
+		Universe:       func() spec.Universe { return spec.RegisterUniverse() },
 	}
 }
 
 // LWWSet returns the LWW-element set bundle.
 func LWWSet() Algorithm {
 	return Algorithm{
-		Name:     "lww-set",
-		New:      func() crdt.Object { return lwwset.New() },
-		Abs:      lwwset.Abs,
-		Spec:     lwwset.Spec(),
-		TSOrder:  lwwset.TSOrder,
-		View:     lwwset.View,
-		GenOp:    setGen(true),
-		Universe: func() spec.Universe { return spec.SetUniverse(true) },
+		Name:           "lww-set",
+		New:            func() crdt.Object { return lwwset.New() },
+		DecodeState:    lwwset.DecodeState,
+		DecodeEffector: lwwset.DecodeEffector,
+		Abs:            lwwset.Abs,
+		Spec:           lwwset.Spec(),
+		TSOrder:        lwwset.TSOrder,
+		View:           lwwset.View,
+		GenOp:          setGen(true),
+		Universe:       func() spec.Universe { return spec.SetUniverse(true) },
 	}
 }
 
 // TwoPSet returns the 2P-set bundle.
 func TwoPSet() Algorithm {
 	return Algorithm{
-		Name:     "2p-set",
-		New:      func() crdt.Object { return twopset.New() },
-		Abs:      twopset.Abs,
-		Spec:     twopset.Spec(),
-		TSOrder:  twopset.TSOrder,
-		View:     twopset.View,
-		GenOp:    twoPGen,
-		Universe: func() spec.Universe { return spec.SetUniverse(true) },
+		Name:           "2p-set",
+		New:            func() crdt.Object { return twopset.New() },
+		DecodeState:    twopset.DecodeState,
+		DecodeEffector: twopset.DecodeEffector,
+		Abs:            twopset.Abs,
+		Spec:           twopset.Spec(),
+		TSOrder:        twopset.TSOrder,
+		View:           twopset.View,
+		GenOp:          twoPGen,
+		Universe:       func() spec.Universe { return spec.SetUniverse(true) },
 	}
 }
 
 // CSeq returns the continuous sequence bundle.
 func CSeq() Algorithm {
 	return Algorithm{
-		Name:     "cseq",
-		New:      func() crdt.Object { return cseq.New() },
-		Abs:      cseq.Abs,
-		Spec:     cseq.Spec(),
-		TSOrder:  cseq.TSOrder,
-		View:     cseq.View,
-		GenOp:    listGen,
-		Universe: func() spec.Universe { return spec.ListUniverse() },
+		Name:           "cseq",
+		New:            func() crdt.Object { return cseq.New() },
+		DecodeState:    cseq.DecodeState,
+		DecodeEffector: cseq.DecodeEffector,
+		Abs:            cseq.Abs,
+		Spec:           cseq.Spec(),
+		TSOrder:        cseq.TSOrder,
+		View:           cseq.View,
+		GenOp:          listGen,
+		Universe:       func() spec.Universe { return spec.ListUniverse() },
 	}
 }
 
 // RGA returns the replicated growable array bundle.
 func RGA() Algorithm {
 	return Algorithm{
-		Name:     "rga",
-		New:      func() crdt.Object { return rga.New() },
-		Abs:      rga.Abs,
-		Spec:     rga.Spec(),
-		TSOrder:  rga.TSOrder,
-		View:     rga.View,
-		GenOp:    listGen,
-		Universe: func() spec.Universe { return spec.ListUniverse() },
+		Name:           "rga",
+		New:            func() crdt.Object { return rga.New() },
+		DecodeState:    rga.DecodeState,
+		DecodeEffector: rga.DecodeEffector,
+		Abs:            rga.Abs,
+		Spec:           rga.Spec(),
+		TSOrder:        rga.TSOrder,
+		View:           rga.View,
+		GenOp:          listGen,
+		Universe:       func() spec.Universe { return spec.ListUniverse() },
 	}
 }
 
 // AWSet returns the add-wins set bundle.
 func AWSet() Algorithm {
 	return Algorithm{
-		Name:        "aw-set",
-		New:         func() crdt.Object { return awset.New() },
-		Abs:         awset.Abs,
-		Spec:        awset.Spec(),
-		XSpec:       awset.Spec(),
-		NeedsCausal: true,
-		GenOp:       setGen(true),
-		Universe:    func() spec.Universe { return spec.SetUniverse(true) },
+		Name:           "aw-set",
+		New:            func() crdt.Object { return awset.New() },
+		DecodeState:    awset.DecodeState,
+		DecodeEffector: awset.DecodeEffector,
+		Abs:            awset.Abs,
+		Spec:           awset.Spec(),
+		XSpec:          awset.Spec(),
+		NeedsCausal:    true,
+		GenOp:          setGen(true),
+		Universe:       func() spec.Universe { return spec.SetUniverse(true) },
 	}
 }
 
 // RWSet returns the remove-wins set bundle.
 func RWSet() Algorithm {
 	return Algorithm{
-		Name:        "rw-set",
-		New:         func() crdt.Object { return rwset.New() },
-		Abs:         rwset.Abs,
-		Spec:        rwset.Spec(),
-		XSpec:       rwset.Spec(),
-		NeedsCausal: true,
-		GenOp:       setGen(true),
-		Universe:    func() spec.Universe { return spec.SetUniverse(true) },
+		Name:           "rw-set",
+		New:            func() crdt.Object { return rwset.New() },
+		DecodeState:    rwset.DecodeState,
+		DecodeEffector: rwset.DecodeEffector,
+		Abs:            rwset.Abs,
+		Spec:           rwset.Spec(),
+		XSpec:          rwset.Spec(),
+		NeedsCausal:    true,
+		GenOp:          setGen(true),
+		Universe:       func() spec.Universe { return spec.SetUniverse(true) },
 	}
 }
 

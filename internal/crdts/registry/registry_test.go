@@ -42,13 +42,16 @@ func TestInventory(t *testing.T) {
 // its ops are non-empty, UCR bundles carry ↣/V, X-wins bundles carry the
 // extended spec and the causal-delivery requirement.
 func TestBundlesConsistent(t *testing.T) {
-	for _, a := range All() {
+	for _, a := range append(All(), Extensions()...) {
 		obj := a.New()
 		if obj.Name() == "" || len(obj.Ops()) == 0 {
 			t.Errorf("%s: degenerate object", a.Name)
 		}
 		if a.Abs == nil || a.Spec == nil || a.GenOp == nil || a.Universe == nil {
 			t.Errorf("%s: incomplete bundle", a.Name)
+		}
+		if a.DecodeState == nil || a.DecodeEffector == nil {
+			t.Errorf("%s: bundle registers no codec decoders", a.Name)
 		}
 		if a.IsX() {
 			if !a.NeedsCausal {

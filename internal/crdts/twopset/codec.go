@@ -1,0 +1,72 @@
+package twopset
+
+import (
+	"repro/internal/codec"
+	"repro/internal/crdt"
+)
+
+// Effector tags (0 is crdt.IdEff).
+const (
+	tagAdd byte = 1
+	tagRmv byte = 2
+)
+
+// AppendBinary implements crdt.State: the add-set A, then the tombstones R.
+func (s State) AppendBinary(b []byte) []byte {
+	b = codec.AppendValueSet(b, s.A)
+	return codec.AppendValueSet(b, s.R)
+}
+
+// AppendBinary implements crdt.Effector.
+func (d AddEff) AppendBinary(b []byte) []byte {
+	return codec.AppendValue(append(b, tagAdd), d.E)
+}
+
+// AppendBinary implements crdt.Effector.
+func (d RmvEff) AppendBinary(b []byte) []byte {
+	return codec.AppendValue(append(b, tagRmv), d.E)
+}
+
+// DecodeState decodes a 2P-set state encoded by State.AppendBinary.
+func DecodeState(b []byte) (crdt.State, error) {
+	a, rest, err := codec.DecodeValueSet(b)
+	if err != nil {
+		return nil, err
+	}
+	r, rest, err := codec.DecodeValueSet(rest)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	return State{A: a, R: r}, nil
+}
+
+// DecodeEffector decodes a 2P-set effector encoded by AppendBinary.
+func DecodeEffector(b []byte) (crdt.Effector, error) {
+	tag, rest, err := codec.DecodeTag(b)
+	if err != nil {
+		return nil, err
+	}
+	if tag == codec.TagIdentity {
+		if err := codec.Done(rest); err != nil {
+			return nil, err
+		}
+		return crdt.IdEff{}, nil
+	}
+	if tag != tagAdd && tag != tagRmv {
+		return nil, codec.BadTag(tag)
+	}
+	e, rest, err := codec.DecodeValue(rest)
+	if err != nil {
+		return nil, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return nil, err
+	}
+	if tag == tagAdd {
+		return AddEff{E: e}, nil
+	}
+	return RmvEff{E: e}, nil
+}

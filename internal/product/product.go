@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/spec"
@@ -58,6 +59,17 @@ func (s State) Key() string {
 	return "×{" + strings.Join(parts, " ⊗ ") + "}"
 }
 
+// AppendBinary implements crdt.State: the component states in slot order,
+// each length-prefixed (components are different algorithms, so their
+// encodings must be framed to concatenate unambiguously).
+func (s State) AppendBinary(b []byte) []byte {
+	b = codec.AppendUvarint(b, uint64(len(s.Parts)))
+	for _, p := range s.Parts {
+		b = codec.AppendBytes(b, p.AppendBinary(nil))
+	}
+	return b
+}
+
 // Effector routes a component effector to its slot.
 type Effector struct {
 	Slot int
@@ -71,6 +83,16 @@ func (d Effector) Apply(s crdt.State) crdt.State {
 	parts := append([]crdt.State(nil), st.Parts...)
 	parts[d.Slot] = d.Eff.Apply(parts[d.Slot])
 	return State{Parts: parts}
+}
+
+// AppendBinary implements crdt.Effector: tag 1, the slot, the component
+// name, then the component effector's framed encoding. Products are not in
+// the registry, so no decoder is registered; the encoding still provides
+// identity for dedup and convergence checks.
+func (d Effector) AppendBinary(b []byte) []byte {
+	b = codec.AppendUvarint(append(b, 1), uint64(d.Slot))
+	b = codec.AppendString(b, d.Name)
+	return codec.AppendBytes(b, d.Eff.AppendBinary(nil))
 }
 
 // String implements crdt.Effector.

@@ -77,6 +77,8 @@ type ncState struct{ E *model.ValueSet }
 
 func (s ncState) Key() string { return "nc" + s.E.Key() }
 
+func (s ncState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
+
 type ncAdd struct{ E model.Value }
 
 func (d ncAdd) Apply(s crdt.State) crdt.State {
@@ -86,6 +88,8 @@ func (d ncAdd) Apply(s crdt.State) crdt.State {
 }
 func (d ncAdd) String() string { return "NCAdd(" + d.E.String() + ")" }
 
+func (d ncAdd) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
+
 type ncRmv struct{ E model.Value }
 
 func (d ncRmv) Apply(s crdt.State) crdt.State {
@@ -94,6 +98,8 @@ func (d ncRmv) Apply(s crdt.State) crdt.State {
 	return ncState{E: out}
 }
 func (d ncRmv) String() string { return "NCRmv(" + d.E.String() + ")" }
+
+func (d ncRmv) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
 
 type ncObject struct{}
 

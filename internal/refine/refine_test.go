@@ -105,6 +105,8 @@ type brokenState struct{ E *model.ValueSet }
 
 func (s brokenState) Key() string { return "bk" + s.E.Key() }
 
+func (s brokenState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
+
 type brokenAdd struct{ E model.Value }
 
 func (d brokenAdd) Apply(s crdt.State) crdt.State {
@@ -114,6 +116,8 @@ func (d brokenAdd) Apply(s crdt.State) crdt.State {
 }
 func (d brokenAdd) String() string { return "BkAdd(" + d.E.String() + ")" }
 
+func (d brokenAdd) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
+
 type brokenRmv struct{ E model.Value }
 
 func (d brokenRmv) Apply(s crdt.State) crdt.State {
@@ -122,6 +126,8 @@ func (d brokenRmv) Apply(s crdt.State) crdt.State {
 	return brokenState{E: out}
 }
 func (d brokenRmv) String() string { return "BkRmv(" + d.E.String() + ")" }
+
+func (d brokenRmv) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
 
 type brokenObj struct{}
 

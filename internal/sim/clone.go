@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/model"
 )
 
@@ -14,8 +15,11 @@ import (
 // sharing stays safe). The link-fault RNG, when present, is shared too:
 // explorers operate on clean clusters, and chaos runs never branch.
 func (c *Cluster) Clone() *Cluster {
-	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID, now: c.now, net: c.net, stats: c.stats}
+	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID, now: c.now, net: c.net, stats: c.stats, dec: c.dec}
 	cp.partition = append([]int(nil), c.partition...)
+	for _, row := range c.linkBytes {
+		cp.linkBytes = append(cp.linkBytes, append([]int(nil), row...))
+	}
 	cp.states = append(cp.states, c.states...)
 	cp.tr = append(cp.tr, c.tr...)
 	cp.down = append([]bool(nil), c.down...)
@@ -47,7 +51,10 @@ func (c *Cluster) Clone() *Cluster {
 // Key canonically renders the cluster's future-relevant state (replica
 // states, pending messages with their contents, dependencies, remaining
 // copies and arrival ticks, applied sets, crash flags and the virtual clock)
-// for memoized exploration. Message contents are included because two
+// as a human-readable string — the debug shim used by divergence reports and
+// the conformance battery's terminal-set comparison. The explorers' hot
+// dedup path uses Fingerprint over AppendBinary, the binary mirror of this
+// rendering, instead. Message contents are included because two
 // exploration branches may reuse the same MsgID for different operations;
 // copies and arrival ticks are included so faulty schedules — where the same
 // MsgID can still have duplicates queued or a latency window pending — never
@@ -88,4 +95,65 @@ func (c *Cluster) Key() string {
 		fmt.Fprintf(&b, "a%v;", app)
 	}
 	return b.String()
+}
+
+// AppendBinary is the binary mirror of Key: the cluster's future-relevant
+// state rendered through the canonical codec. State and effector encodings
+// are length-prefixed so the stream parses unambiguously whatever the
+// algorithm, and every collection is emitted in sorted order, so equal
+// configurations produce byte-equal encodings. This is what the explorers
+// fingerprint instead of building Key strings on the hot path.
+func (c *Cluster) AppendBinary(b []byte) []byte {
+	var scratch []byte
+	b = codec.AppendUvarint(b, uint64(c.now))
+	for t, s := range c.states {
+		scratch = s.AppendBinary(scratch[:0])
+		b = codec.AppendBytes(b, scratch)
+		b = codec.AppendBool(b, c.down[t])
+		pend := make([]int, 0, len(c.inbox[t]))
+		for mid := range c.inbox[t] {
+			pend = append(pend, int(mid))
+		}
+		sort.Ints(pend)
+		b = codec.AppendUvarint(b, uint64(len(pend)))
+		for _, mid := range pend {
+			msg := c.inbox[t][model.MsgID(mid)]
+			b = codec.AppendUvarint(b, uint64(mid))
+			scratch = msg.eff.AppendBinary(scratch[:0])
+			b = codec.AppendBytes(b, scratch)
+			deps := make([]int, 0, len(msg.deps))
+			for d := range msg.deps {
+				deps = append(deps, int(d))
+			}
+			sort.Ints(deps)
+			b = codec.AppendUvarint(b, uint64(len(deps)))
+			for _, d := range deps {
+				b = codec.AppendUvarint(b, uint64(d))
+			}
+			b = codec.AppendUvarint(b, uint64(msg.copies))
+			b = codec.AppendVarint(b, int64(msg.readyAt))
+		}
+		app := make([]int, 0, len(c.applied[t]))
+		for mid := range c.applied[t] {
+			app = append(app, int(mid))
+		}
+		sort.Ints(app)
+		b = codec.AppendUvarint(b, uint64(len(app)))
+		for _, mid := range app {
+			b = codec.AppendUvarint(b, uint64(mid))
+		}
+	}
+	return b
+}
+
+// Fingerprint hashes tag (the explorer's script position) and the cluster's
+// canonical binary rendering to 64 bits. Distinct configurations collide
+// with probability ~2⁻⁶⁴ per pair — negligible at the explorers' state
+// budgets — so the explorers dedup on fingerprints instead of interning
+// Key strings.
+func (c *Cluster) Fingerprint(tag uint64) uint64 {
+	b := make([]byte, 0, 512)
+	b = codec.AppendUvarint(b, tag)
+	b = c.AppendBinary(b)
+	return codec.Fingerprint(b)
 }

@@ -11,7 +11,9 @@ import (
 // Script is a fixed sequence of operation invocations (in issue order, each
 // at a node); ExploreSchedules runs it under EVERY interleaving of effector
 // deliveries, subject to the per-step rule that an operation is issued only
-// after the previous scripted operation.
+// after the previous scripted operation. Visited configurations are
+// deduplicated on 64-bit fingerprints of the cluster's canonical binary
+// encoding (Cluster.Fingerprint) — no Key strings on the hot path.
 type Script []ScriptOp
 
 // ScriptOp is one scripted invocation.
@@ -27,7 +29,7 @@ var ErrScheduleBudget = errors.New("sim: schedule exploration exceeded the state
 // exhaustively: at each point the next scripted operation may be issued or
 // any deliverable message may be delivered, and at quiescence (script
 // exhausted, network drained) fn is called with the final cluster. States
-// are deduplicated by Cluster.Key. It returns the number of distinct
+// are deduplicated by Cluster.Fingerprint. It returns the number of distinct
 // terminal states visited, or ErrScheduleBudget.
 //
 // This is the object-level counterpart of refine's behaviour enumeration:
@@ -42,7 +44,7 @@ func ExploreSchedules(obj crdt.Object, nodes int, script Script, causal bool, ma
 	if causal {
 		opts = append(opts, WithCausalDelivery())
 	}
-	seen := map[string]bool{}
+	seen := map[uint64]bool{}
 	terminals := 0
 	var dfs func(c *Cluster, next int) error
 	dfs = func(c *Cluster, next int) error {
@@ -50,7 +52,7 @@ func ExploreSchedules(obj crdt.Object, nodes int, script Script, causal bool, ma
 			terminals++
 			return fn(c)
 		}
-		key := fmt.Sprintf("%d|%s", next, c.Key())
+		key := c.Fingerprint(uint64(next))
 		if seen[key] {
 			return nil
 		}

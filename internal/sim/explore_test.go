@@ -105,9 +105,13 @@ func (d orderSensitiveEff) Apply(s crdt.State) crdt.State {
 }
 func (d orderSensitiveEff) String() string { return fmt.Sprintf("OS(%d)", d.n) }
 
+func (d orderSensitiveEff) AppendBinary(b []byte) []byte { return append(b, d.String()...) }
+
 type orderState struct{ v int64 }
 
 func (s orderState) Key() string { return fmt.Sprintf("os{%d}", s.v) }
+
+func (s orderState) AppendBinary(b []byte) []byte { return append(b, s.Key()...) }
 
 type orderSensitiveObj struct{}
 

@@ -43,11 +43,17 @@ type LinkFaults struct {
 	// DelayMax is the reorder window: every copy is delayed by a uniform
 	// 0..DelayMax ticks, so later messages can overtake earlier ones.
 	DelayMax int
+	// Corrupt is the probability that a queued copy's wire payload has one
+	// bit flipped in transit. It only bites on clusters that ship bytes
+	// (WithWireCodec): the decoder rejects the mangled frame with
+	// ErrCorruptPayload and a clean retransmission is queued — corruption
+	// must never reach Effector.Apply.
+	Corrupt float64
 }
 
 // Active reports whether any link fault is configured.
 func (f LinkFaults) Active() bool {
-	return f.Loss > 0 || f.Dup > 0 || f.DelayMax > 0
+	return f.Loss > 0 || f.Dup > 0 || f.DelayMax > 0 || f.Corrupt > 0
 }
 
 // linkFaults pairs the configuration with its seeded RNG on the cluster.
@@ -89,6 +95,15 @@ func (n *linkFaults) perturb(c *Cluster, m *message) {
 		m.copies += extra
 		c.stats.Duplicated += extra
 	}
+	// Corruption is drawn last, and only when configured, so plans without
+	// it consume exactly the RNG stream older seeds were recorded against.
+	if f.Corrupt > 0 && m.payload != nil && n.rng.Float64() < f.Corrupt {
+		bit := n.rng.Intn(len(m.payload) * 8)
+		cp := append([]byte(nil), m.payload...) // payloads are shared across copies
+		cp[bit/8] ^= 1 << (bit % 8)
+		m.payload = cp
+		c.stats.Corrupted++
+	}
 }
 
 // FaultStats counts what the fault layer did during a run. All counters are
@@ -108,12 +123,21 @@ type FaultStats struct {
 	Crashes, Recoveries, Resyncs int
 	// Partitions and Heals count partition transitions.
 	Partitions, Heals int
+	// Corrupted counts copies whose payload was bit-flipped in transit;
+	// CorruptRejected counts delivery attempts the wire decoder refused
+	// (each triggers a clean retransmission). Both stay zero unless the
+	// cluster ships bytes.
+	Corrupted, CorruptRejected int
+	// PayloadBytes totals the wire payload bytes queued across all links,
+	// including duplicated copies and corruption retransmissions (see
+	// Cluster.LinkBytes for the per-link split).
+	PayloadBytes int
 }
 
 // String renders the stats compactly.
 func (s FaultStats) String() string {
-	return fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d",
-		s.Lost, s.Delayed, s.Duplicated, s.DupSuppressed, s.Crashes, s.Recoveries, s.Resyncs, s.Partitions, s.Heals)
+	return fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d corrupted=%d corrupt-rejected=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d payload=%dB",
+		s.Lost, s.Delayed, s.Duplicated, s.DupSuppressed, s.Corrupted, s.CorruptRejected, s.Crashes, s.Recoveries, s.Resyncs, s.Partitions, s.Heals, s.PayloadBytes)
 }
 
 // PartitionWindow cuts the cluster into Groups during ticks [From, To).
@@ -161,8 +185,8 @@ func (p FaultPlan) Horizon() int {
 // recipe printed by crdt-sim -chaos).
 func (p FaultPlan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "link{loss=%.2f dup=%.2f maxdup=%d delay=%d}",
-		p.Link.Loss, p.Link.Dup, p.Link.MaxDup, p.Link.DelayMax)
+	fmt.Fprintf(&b, "link{loss=%.2f dup=%.2f maxdup=%d delay=%d corrupt=%.2f}",
+		p.Link.Loss, p.Link.Dup, p.Link.MaxDup, p.Link.DelayMax, p.Link.Corrupt)
 	for _, w := range p.Partitions {
 		fmt.Fprintf(&b, " part[%d,%d)%v", w.From, w.To, w.Groups)
 	}
@@ -193,6 +217,11 @@ type Chaos struct {
 	Seed int64
 	// Causal enables causal delivery.
 	Causal bool
+	// Decode, when non-nil, makes the run ship bytes (WithWireCodec): every
+	// broadcast is encoded into a checksummed frame and every delivery
+	// decodes it — the setting under which the plan's corruption faults
+	// actually bite.
+	Decode crdt.EffectorDecoder
 	// SyncInvokes drains every message addressed to the invoking node
 	// before each scripted invoke, so prepare-time visibility matches the
 	// clean invoke-then-drain oracle (used by the differential tests).
@@ -228,6 +257,9 @@ func (w Chaos) Run() (*ChaosReport, error) {
 	opts := []Option{WithLinkFaults(w.Plan.Link, w.Seed)}
 	if w.Causal {
 		opts = append(opts, WithCausalDelivery())
+	}
+	if w.Decode != nil {
+		opts = append(opts, WithWireCodec(w.Decode))
 	}
 	c := NewCluster(w.Object, nodes, opts...)
 	sched := rand.New(rand.NewSource(w.Seed ^ schedMix))
@@ -289,7 +321,7 @@ func (w Chaos) Run() (*ChaosReport, error) {
 					next++
 				case errors.Is(err, crdt.ErrAssume):
 					for _, mid := range c.Deliverable(so.Node) {
-						if derr := c.Deliver(so.Node, mid); derr != nil {
+						if derr := c.Deliver(so.Node, mid); derr != nil && !errors.Is(derr, ErrCorruptPayload) {
 							return nil, derr
 						}
 					}

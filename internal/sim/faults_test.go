@@ -16,6 +16,7 @@ func chaosFor(alg registry.Algorithm, nodes, ops int, seed int64) Chaos {
 		Object: alg.New(), Abs: alg.Abs, Script: script,
 		Plan:  GenFaultPlan(seed, nodes, 2*ops),
 		Nodes: nodes, Seed: seed, Causal: alg.NeedsCausal,
+		Decode: alg.DecodeEffector,
 	}
 }
 

@@ -99,5 +99,11 @@ func GenFaultPlan(seed int64, nodes, horizon int) FaultPlan {
 			})
 		}
 	}
+	// Corruption parameters are drawn last so every earlier field of a
+	// given seed's plan is identical to what the seed produced before the
+	// wire codec existed — recorded reproduction recipes stay valid.
+	if rng.Intn(3) > 0 {
+		p.Link.Corrupt = 0.05 + 0.15*rng.Float64()
+	}
 	return p
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -19,7 +18,8 @@ import (
 // parallel_test.go assert terminal-state-set equality between the two on
 // every registry algorithm.
 //
-// Both explorers dedup on Cluster.Key, which includes the fault-layer state
+// Both explorers dedup on 64-bit fingerprints of Cluster.AppendBinary, the
+// cluster's canonical binary encoding, which includes the fault-layer state
 // (remaining duplicate copies, arrival ticks, crash flags, virtual clock):
 // two states that agree on replica contents but differ in queued fault
 // pathology have different futures and are never merged, so the dedup stays
@@ -124,11 +124,12 @@ type exploreItem struct {
 
 const seenShards = 64
 
-// seenShard is one lock stripe of the seen-set. The value is the lowest
-// destination floor the state has been expanded with.
+// seenShard is one lock stripe of the seen-set, keyed on 64-bit state
+// fingerprints. The value is the lowest destination floor the state has
+// been expanded with.
 type seenShard struct {
 	mu sync.Mutex
-	m  map[string]int
+	m  map[uint64]int
 }
 
 type explorer struct {
@@ -142,7 +143,7 @@ type explorer struct {
 	states atomic.Int64
 
 	termMu    sync.Mutex
-	terminals map[string]bool
+	terminals map[uint64]bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -163,7 +164,8 @@ type explorer struct {
 // ExploreSchedulesParallel explores the same schedule space as
 // ExploreSchedules — at every point the next scripted operation may be
 // issued or any deliverable message delivered — using a pool of workers over
-// a shared frontier, a lock-striped seen-set keyed on Cluster.Key, and the
+// a shared frontier, a lock-striped seen-set keyed on Cluster.Fingerprint,
+// and the
 // commutativity reduction documented above. fn is called exactly once per
 // *distinct* terminal state (the sequential oracle may call it once per
 // terminal visit); calls are serialized, so fn needs no internal locking.
@@ -189,12 +191,12 @@ func ExploreSchedulesParallel(obj crdt.Object, nodes int, script Script, causal 
 		prune:     !cfg.NoPrune,
 		maxStates: int64(maxStates),
 		fn:        fn,
-		terminals: map[string]bool{},
+		terminals: map[uint64]bool{},
 		items:     make([]int64, workers),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range e.shards {
-		e.shards[i].m = map[string]int{}
+		e.shards[i].m = map[uint64]int{}
 	}
 	if err := e.push(NewCluster(obj, nodes, opts...), 0, 0); err != nil {
 		e.recordErr(err)
@@ -220,14 +222,9 @@ func ExploreSchedulesParallel(obj crdt.Object, nodes int, script Script, causal 
 	return int(stats.Terminals), stats, e.err
 }
 
-// shardOf stripes the seen-set by an FNV-1a hash of the key.
-func (e *explorer) shardOf(key string) *seenShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return &e.shards[h%seenShards]
+// shardOf stripes the seen-set by the state fingerprint.
+func (e *explorer) shardOf(key uint64) *seenShard {
+	return &e.shards[key%seenShards]
 }
 
 // push routes a freshly produced cluster: terminal states go to the
@@ -249,7 +246,7 @@ func (e *explorer) push(c *Cluster, next, floor int) error {
 	if !e.prune {
 		floor = 0
 	}
-	key := strconv.Itoa(next) + "|" + c.Key()
+	key := c.Fingerprint(uint64(next))
 	sh := e.shardOf(key)
 	sh.mu.Lock()
 	old, ok := sh.m[key]
@@ -279,7 +276,7 @@ func (e *explorer) push(c *Cluster, next, floor int) error {
 func (e *explorer) terminal(c *Cluster) error {
 	e.termMu.Lock()
 	defer e.termMu.Unlock()
-	key := c.Key()
+	key := c.Fingerprint(uint64(len(e.script)))
 	if e.terminals[key] {
 		e.deduped.Add(1)
 		return nil

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/codec"
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -47,6 +48,10 @@ var (
 	ErrPartitioned = errors.New("sim: link severed by partition")
 	// ErrNodeDown: the node is crashed (see Crash/Recover).
 	ErrNodeDown = errors.New("sim: node is down")
+	// ErrCorruptPayload: the copy's wire payload failed to decode (a
+	// corruption fault flipped a bit in transit). The copy is discarded and
+	// a clean retransmission is queued; the error wraps codec.ErrCorrupt.
+	ErrCorruptPayload = errors.New("sim: corrupt payload rejected")
 )
 
 // message is one in-flight effector addressed to a single destination node.
@@ -63,6 +68,10 @@ type message struct {
 	// readyAt is the earliest virtual-clock tick at which the copy may be
 	// delivered (loss-retransmission and reorder windows push it forward).
 	readyAt int
+	// payload is the effector's framed wire encoding; nil unless the
+	// cluster ships bytes (WithWireCodec). A corruption fault flips a bit
+	// here, and delivery decodes it instead of using eff directly.
+	payload []byte
 }
 
 // Cluster is a simulated replicated system running one CRDT object.
@@ -88,9 +97,15 @@ type Cluster struct {
 	// it only advances via Tick or a drain that must outwait a window.
 	now int
 	// net, when non-nil, perturbs every queued copy with seeded link
-	// faults (loss → retransmission delay, duplication, reorder delay).
+	// faults (loss → retransmission delay, duplication, reorder delay,
+	// payload corruption).
 	net   *linkFaults
 	stats FaultStats
+	// dec, when non-nil, makes the cluster ship bytes: Invoke encodes each
+	// broadcast effector into a framed payload, delivery decodes it with
+	// dec, and linkBytes counts the payload bytes queued per link.
+	dec       crdt.EffectorDecoder
+	linkBytes [][]int // [from][to] payload bytes queued
 }
 
 // Option configures a cluster.
@@ -99,6 +114,37 @@ type Option func(*Cluster)
 // WithCausalDelivery makes the cluster refuse to deliver an effector to a
 // node before every effector that happened before it (Sec 9).
 func WithCausalDelivery() Option { return func(c *Cluster) { c.causal = true } }
+
+// WithWireCodec makes the cluster actually ship bytes: every broadcast
+// encodes the effector into a checksummed wire frame (codec.AppendFrame),
+// every delivery decodes the payload with dec before applying it, and
+// per-link payload-byte counters are maintained. Without it the cluster
+// passes effector values in memory, as the schedule explorers do.
+func WithWireCodec(dec crdt.EffectorDecoder) Option {
+	return func(c *Cluster) {
+		c.dec = dec
+		c.linkBytes = make([][]int, len(c.states))
+		for i := range c.linkBytes {
+			c.linkBytes[i] = make([]int, len(c.states))
+		}
+	}
+}
+
+// LinkBytes returns the payload bytes queued on the link from → to so far
+// (including duplicated copies and corruption retransmissions). It is zero
+// everywhere unless the cluster ships bytes (WithWireCodec).
+func (c *Cluster) LinkBytes(from, to model.NodeID) int {
+	if c.linkBytes == nil {
+		return 0
+	}
+	return c.linkBytes[from][to]
+}
+
+// countPayload charges one queued copy's payload to the link and the totals.
+func (c *Cluster) countPayload(from, to model.NodeID, n, copies int) {
+	c.linkBytes[from][to] += n * copies
+	c.stats.PayloadBytes += n * copies
+}
 
 // NewCluster creates a cluster of n nodes (IDs 0..n-1), each starting from
 // the object's initial state.
@@ -165,6 +211,17 @@ func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID,
 	if err != nil {
 		return model.Nil(), 0, err
 	}
+	var wire []byte
+	if c.dec != nil && !crdt.IsIdentity(eff) {
+		// Sender-side validation: a clean encoding the registered decoder
+		// cannot parse is a codec-registration bug, not transit corruption —
+		// surface it here deterministically rather than retransmitting the
+		// undecodable broadcast forever.
+		wire = codec.AppendFrame(nil, eff.AppendBinary(nil))
+		if _, derr := c.decodeWire(wire); derr != nil {
+			return model.Nil(), 0, fmt.Errorf("sim: invoke at %s: broadcast %s does not decode with the registered wire codec: %v", t, eff, derr)
+		}
+	}
 	c.nextMID++
 	deps := make(map[model.MsgID]bool, len(c.applied[t]))
 	for m := range c.applied[t] {
@@ -184,9 +241,12 @@ func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID,
 			if model.NodeID(dst) == t {
 				continue
 			}
-			m := &message{mid: mid, from: t, op: op, eff: eff, deps: deps, copies: 1, readyAt: c.now}
+			m := &message{mid: mid, from: t, op: op, eff: eff, deps: deps, copies: 1, readyAt: c.now, payload: wire}
 			if c.net != nil {
 				c.net.perturb(c, m)
+			}
+			if wire != nil {
+				c.countPayload(t, model.NodeID(dst), len(m.payload), m.copies)
 			}
 			c.inbox[dst][mid] = m
 		}
@@ -283,15 +343,51 @@ func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
 	if c.applied[dst][mid] {
 		// At-most-once: a duplicated copy arrives after the effector was
 		// applied; suppress it without reapplying or recording an event.
+		// Duplicates are deduplicated by request ID at the transport layer,
+		// before the payload is even parsed.
 		c.stats.DupSuppressed++
 		return nil
 	}
-	c.states[dst] = msg.eff.Apply(c.states[dst])
+	eff := msg.eff
+	if c.dec != nil && msg.payload != nil {
+		var derr error
+		if eff, derr = c.decodeWire(msg.payload); derr != nil {
+			// The payload was corrupted in transit and the decoder rejected
+			// it. Discard every remaining queued copy (they carry the same
+			// corrupt bytes) and queue one clean retransmission, delayed
+			// like a loss so it outlasts any reorder window.
+			delay := 1
+			if c.net != nil {
+				delay = c.net.cfg.DelayMax + 1
+			}
+			re := *msg
+			re.payload = codec.AppendFrame(nil, msg.eff.AppendBinary(nil))
+			re.copies = 1
+			re.readyAt = c.now + delay
+			c.inbox[dst][mid] = &re
+			c.countPayload(msg.from, dst, len(re.payload), 1)
+			c.stats.CorruptRejected++
+			return fmt.Errorf("sim: deliver %s to %s: %w: %v", mid, dst, ErrCorruptPayload, derr)
+		}
+	}
+	c.states[dst] = eff.Apply(c.states[dst])
 	c.applied[dst][mid] = true
 	c.tr = append(c.tr, trace.Event{
-		MID: mid, Node: dst, Origin: msg.from, Op: msg.op, Eff: msg.eff, IsOrigin: false,
+		MID: mid, Node: dst, Origin: msg.from, Op: msg.op, Eff: eff, IsOrigin: false,
 	})
 	return nil
+}
+
+// decodeWire unwraps one framed payload and decodes the effector inside.
+func (c *Cluster) decodeWire(payload []byte) (crdt.Effector, error) {
+	inner, rest, err := codec.DecodeFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing frame bytes", codec.ErrCorrupt, len(rest))
+	}
+	return c.dec(inner)
 }
 
 // Drop discards every remaining queued copy of the in-flight effector mid
@@ -349,6 +445,11 @@ func (c *Cluster) DeliverRandom(rng *rand.Rand) bool {
 	}
 	s := slots[rng.Intn(len(slots))]
 	if err := c.Deliver(s.dst, s.mid); err != nil {
+		if errors.Is(err, ErrCorruptPayload) {
+			// The attempt consumed the corrupt copy and a clean
+			// retransmission is queued; the scheduling slot is spent.
+			return true
+		}
 		panic(err) // unreachable: slot was deliverable
 	}
 	return true

@@ -13,6 +13,7 @@ type effNop struct{ tag string }
 
 func (e effNop) Apply(s crdt.State) crdt.State { return s }
 func (e effNop) String() string                { return "Nop(" + e.tag + ")" }
+func (e effNop) AppendBinary(b []byte) []byte  { return append(b, e.String()...) }
 
 func origin(mid model.MsgID, node model.NodeID, op string) Event {
 	return Event{MID: mid, Node: node, Origin: node, Op: model.Op{Name: model.OpName(op)},
