@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain `go` —
 # these just bundle the invocations the docs mention.
 
-.PHONY: all build test short race ci chaos fuzz soak bench bench-md repro examples fmt vet
+.PHONY: all build test short race ci chaos sockets fuzz soak bench bench-md repro examples fmt vet
 
 all: build vet test
 
@@ -42,9 +42,25 @@ ci:
 chaos:
 	go run ./cmd/crdt-sim -chaos -algo rga -nodes 3 -ops 10 -seed 1 -seeds 5
 	go run ./cmd/crdt-sim -chaos -algo aw-set -nodes 3 -ops 10 -seed 1 -seeds 5
+	go run ./cmd/crdt-sim -chaos -algo rga -nodes 3 -ops 10 -seed 1 -seeds 5 -snapshot-every 4
 	@for a in counter g-set lww-register lww-set 2p-set cseq rw-set; do \
 		go run ./cmd/crdt-sim -chaos -algo $$a -nodes 3 -ops 10 -seed 1 -seeds 3 | tail -1; done
 	go test -run '^$$' -fuzz '^FuzzClusterDelivery$$' -fuzztime 30s ./internal/sim/
+
+# Mirror of CI's socket-transport smoke: the in-repo two-OS-process test,
+# then the crdt-sim two-process unix demo, checking byte-identical canonical
+# states.
+sockets:
+	go test -run 'TestStream' ./internal/transport/
+	@D=$$(mktemp -d); \
+	go build -o "$$D/crdt-sim" ./cmd/crdt-sim; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 0 -algo rga -ops 20 -seed 7 > "$$D/p0.log" & \
+	sleep 0.2; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 1 -algo rga -ops 20 -seed 7 > "$$D/p1.log"; \
+	wait; cat "$$D/p0.log" "$$D/p1.log"; \
+	s0=$$(awk '/canonical state/{print $$NF}' "$$D/p0.log"); \
+	s1=$$(awk '/canonical state/{print $$NF}' "$$D/p1.log"); \
+	[ -n "$$s0" ] && [ "$$s0" = "$$s1" ] || { echo "canonical states diverged"; exit 1; }
 
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzCheckACC$$' -fuzztime 30s ./internal/core/

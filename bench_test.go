@@ -540,8 +540,8 @@ func BenchmarkExploreParallel(b *testing.B) {
 		})
 	}
 	// Dedup-key ablation: the per-configuration cost of the seen-set key on
-	// the explorers' hot path — the fmt-rendered Key string the seed used vs
-	// the 64-bit fingerprint of the canonical binary encoding used now. The
+	// the explorers' hot path — interning the canonical binary encoding as a
+	// string vs the 64-bit fingerprint of the same bytes used now. The
 	// snapshots include mid-schedule configurations with pending messages, so
 	// both keyings cover the message fields, not just replica states.
 	snaps := exploreSnapshots(alg, script)
@@ -550,7 +550,7 @@ func BenchmarkExploreParallel(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			seen := make(map[string]bool, len(snaps))
 			for j, c := range snaps {
-				seen[strconv.Itoa(j%8)+"|"+c.Key()] = true
+				seen[strconv.Itoa(j%8)+"|"+string(c.AppendBinary(nil))] = true
 			}
 			if len(seen) != len(snaps) {
 				b.Fatalf("string keys collided: %d of %d", len(seen), len(snaps))

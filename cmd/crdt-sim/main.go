@@ -15,19 +15,43 @@
 // replayable: the same flags always produce the same script, plan, trace
 // and verdict, and the first seed is executed twice to prove it.
 //
-//	crdt-sim -chaos -algo rga -nodes 3 -ops 12 -seed 1 -seeds 10 [-loss 0.2] [-dup 0.3] [-delay 3] [-corrupt 0.3] [-v]
+//	crdt-sim -chaos -algo rga -nodes 3 -ops 12 -seed 1 -seeds 10 [-loss 0.2] [-dup 0.3] [-delay 3] [-corrupt 0.3] [-snapshot-every 4] [-v]
+//
+// With -snapshot-every N the chaos clusters checkpoint the stable frontier
+// every N replication events, truncate the broadcast log up to it, and serve
+// fresh crash recoveries from the decoded snapshot instead of a full log
+// replay.
+//
+// Socket mode replicates one object between real OS processes: each process
+// is one node of a full mesh over unix or TCP sockets, shipping the same
+// checksummed frames the simulator uses, decoded by the registry's codecs.
+// All processes must be started with the same -algo/-ops/-seed/-addrs; each
+// deterministically generates the shared script and plays only its own
+// node's share:
+//
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -algo rga -ops 20 -seed 7 &
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 1 -algo rga -ops 20 -seed 7
+//
+// Both print the byte-identical canonical state. Chaos fault injection needs
+// the deterministic in-memory transport and refuses to combine with sockets.
 package main
 
 import (
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/crdt"
 	"repro/internal/crdts/registry"
+	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -40,32 +64,121 @@ func main() {
 		verb  = flag.Bool("v", false, "print the trace of the first run")
 
 		chaos   = flag.Bool("chaos", false, "chaos mode: scripted runs under seeded fault plans")
-		seed    = flag.Int64("seed", 1, "chaos mode: base seed (runs use seed..seed+seeds-1)")
-		ops     = flag.Int("ops", 12, "chaos mode: scripted operations per run")
+		seed    = flag.Int64("seed", 1, "chaos mode: base seed (runs use seed..seed+seeds-1); socket mode: script seed")
+		ops     = flag.Int("ops", 12, "chaos/socket mode: scripted operations per run")
 		loss    = flag.Float64("loss", -1, "chaos mode: override plan link loss probability (-1 = from plan)")
 		dup     = flag.Float64("dup", -1, "chaos mode: override plan link duplication probability (-1 = from plan)")
 		delay   = flag.Int("delay", -1, "chaos mode: override plan reorder window in ticks (-1 = from plan)")
 		corrupt = flag.Float64("corrupt", -1, "chaos mode: override plan payload-corruption probability (-1 = from plan)")
+		snap    = flag.Int("snapshot-every", 0, "chaos mode: checkpoint the stable frontier every N replication events and truncate the broadcast log (0 = off)")
+
+		trans = flag.String("transport", "mem", "transport: mem (deterministic in-process simulation), unix or tcp (this process is one node of a socket mesh)")
+		node  = flag.Int("node", 0, "socket transports: this process's node id (an index into -addrs)")
+		addrs = flag.String("addrs", "", "socket transports: comma-separated full-mesh address table, one entry per node (unix: socket paths, tcp: host:port)")
 	)
 	flag.Parse()
-	alg, ok := registry.ByName(*algo)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "crdt-sim: unknown algorithm %q (have: %s)\n", *algo, strings.Join(algoNames(), ", "))
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "crdt-sim: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	alg, ok := registry.ByName(*algo)
+	if !ok {
+		fail("unknown algorithm %q (have: %s)", *algo, strings.Join(algoNames(), ", "))
+	}
+	if *snap < 0 {
+		fail("-snapshot-every must be positive (got %d)", *snap)
+	}
+	switch *trans {
+	case "mem":
+		if *addrs != "" {
+			fail("-addrs only applies to socket transports: pass -transport unix or -transport tcp")
+		}
+	case "unix", "tcp":
+		if *chaos {
+			fail("chaos fault injection needs the deterministic in-memory transport: drop -chaos or use -transport mem")
+		}
+		if *snap > 0 {
+			fail("-snapshot-every applies to the simulated cluster: use -transport mem with -chaos")
+		}
+		if *addrs == "" {
+			fail("-transport %s needs -addrs with one %s address per node", *trans, *trans)
+		}
+		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed))
+	default:
+		fail("unknown transport %q (have: mem, unix, tcp)", *trans)
+	}
+	if *snap > 0 && !*chaos {
+		fail("-snapshot-every requires -chaos (snapshots checkpoint the chaos cluster's broadcast log)")
+	}
 	if *chaos {
-		os.Exit(runChaos(alg, *nodes, *ops, *seed, *seeds, *loss, *dup, *delay, *corrupt, *verb))
+		os.Exit(runChaos(alg, *nodes, *ops, *seed, *seeds, *loss, *dup, *delay, *corrupt, *snap, *verb))
 	}
 	os.Exit(runRandom(alg, *nodes, *steps, *seeds, *drop, *verb))
 }
 
+// runPeer runs one node of a socket mesh: it generates the shared script
+// from the seed, plays its own share over the stream transport, and prints
+// the canonical state every process must agree on byte-for-byte.
+func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64) int {
+	if len(addrList) < 2 {
+		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
+		return 2
+	}
+	if node < 0 || node >= len(addrList) {
+		fmt.Fprintf(os.Stderr, "crdt-sim: -node %d is not an index into the %d-entry -addrs table\n", node, len(addrList))
+		return 2
+	}
+	full := make([]string, len(addrList))
+	for i, a := range addrList {
+		full[i] = network + ":" + strings.TrimSpace(a)
+	}
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), len(addrList), ops, seed, alg.NeedsCausal)
+	st, err := transport.Listen(model.NodeID(node), full, transport.WithRecvTimeout(30*time.Second))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+		return 1
+	}
+	defer st.Close()
+	p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal)
+	for _, so := range script {
+		if so.Node != model.NodeID(node) {
+			continue
+		}
+		if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: invoke %v: %v\n", node, so.Op, err)
+			return 1
+		}
+		// Interleave receive progress so peers observe each other mid-script.
+		if _, err := p.Step(false); err != nil {
+			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+			return 1
+		}
+	}
+	if err := p.Done(); err != nil {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+		return 1
+	}
+	if err := p.RunToQuiescence(60 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+		return 1
+	}
+	fmt.Printf("node %d: quiescent over %s (issued %d, applied %d remote), φ(state) = %s\n",
+		node, network, p.Issued(), p.Applied(), alg.Abs(p.State()))
+	fmt.Printf("node %d: canonical state %s\n", node, hex.EncodeToString(p.CanonicalState()))
+	return 0
+}
+
 // runChaos executes chaos mode and returns the process exit code.
-func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, loss, dup float64, delay int, corrupt float64, verb bool) int {
+func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, loss, dup float64, delay int, corrupt float64, snapEvery int, verb bool) int {
 	fmt.Printf("chaos: algorithm %s (spec %s", alg.Name, alg.Spec.Name())
 	if alg.NeedsCausal {
 		fmt.Printf(", causal delivery")
 	}
-	fmt.Printf("), %d nodes, %d ops/script, seeds %d..%d\n", nodes, ops, base, base+int64(seeds)-1)
+	fmt.Printf("), %d nodes, %d ops/script, seeds %d..%d", nodes, ops, base, base+int64(seeds)-1)
+	if snapEvery > 0 {
+		fmt.Printf(", snapshots every %d events", snapEvery)
+	}
+	fmt.Println()
 
 	bad := 0
 	for s := base; s < base+int64(seeds); s++ {
@@ -87,11 +200,16 @@ func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, los
 			plan.Link.Corrupt = corrupt
 		}
 		run := func() (*sim.ChaosReport, error) {
-			return sim.Chaos{
+			w := sim.Chaos{
 				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
 				Nodes: nodes, Seed: s, Causal: alg.NeedsCausal,
 				Decode: alg.DecodeEffector,
-			}.Run()
+			}
+			if snapEvery > 0 {
+				w.SnapshotEvery = snapEvery
+				w.DecodeState = alg.DecodeState
+			}
+			return w.Run()
 		}
 		rep, err := run()
 		if err != nil {
@@ -102,6 +220,9 @@ func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, los
 		if verb && s == base {
 			fmt.Printf("plan: %s\n", plan)
 			fmt.Println(trace.Render(rep.Trace))
+			for _, n := range rep.Cluster.RecoveryNotes() {
+				fmt.Printf("  %s\n", n)
+			}
 		}
 		if err := rep.Trace.CheckWellFormed(); err != nil {
 			fmt.Printf("seed %4d: malformed trace: %v\n", s, err)
@@ -110,8 +231,12 @@ func runChaos(alg registry.Algorithm, nodes, ops int, base int64, seeds int, los
 		}
 		abs, converged := rep.Cluster.Converged(alg.Abs)
 		if !converged {
+			notes := make([]fmt.Stringer, 0, len(rep.Cluster.RecoveryNotes()))
+			for _, n := range rep.Cluster.RecoveryNotes() {
+				notes = append(notes, n)
+			}
 			fmt.Printf("seed %4d: DIVERGED after faults healed (plan %s)\n%s\n",
-				s, plan, core.DivergenceReport(rep.Trace, alg.New().Init(), alg.Abs))
+				s, plan, core.DivergenceReport(rep.Trace, alg.New().Init(), alg.Abs, notes...))
 			bad++
 			continue
 		}

@@ -14,11 +14,15 @@
 //     (loss, duplication, reorder, partitions, crash/recovery, payload
 //     corruption) still reach one abstract value once faults heal, and
 //     replay deterministically;
-//  7. codec round-trip: every op, return value, effector and replica state
+//  7. snapshot recovery: re-running the same chaos workloads with periodic
+//     stable-frontier checkpoints, broadcast-log truncation and
+//     snapshot-based fresh resync converges to byte-identical canonical
+//     states as full log replay;
+//  8. codec round-trip: every op, return value, effector and replica state
 //     reached by drained runs survives decode(encode(x)) == x through the
 //     canonical binary codec, and converged replicas encode byte-equal
 //     (the canonical-form guarantee);
-//  8. contextual refinement on a client program (the Abstraction Theorem's
+//  9. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -26,11 +30,13 @@ package conformance
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/crdt"
 	"repro/internal/crdts/registry"
 	"repro/internal/lang"
 	"repro/internal/model"
@@ -162,6 +168,12 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// whole run must replay byte-for-byte from (script, seed, plan).
 	add("fault-injection convergence", chaosChecks(alg, cfg))
 
+	// 6b. Snapshot recovery: the same chaos run executed with snapshot
+	// checkpoints (periodic stable-frontier snapshots, log truncation,
+	// snapshot-based fresh resync) must converge to the byte-identical
+	// canonical states the full-log-replay run reaches.
+	add("snapshot recovery", snapshotChecks(alg, cfg))
+
 	// 7. Codec round-trip: the canonical binary encoding is lossless and
 	// canonical on everything drained runs reach — ops, return values,
 	// effectors and replica states — and converged replicas encode
@@ -236,7 +248,7 @@ func exploreChecks(alg registry.Algorithm, cfg Config) error {
 		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
 		want := map[string]bool{}
 		if _, err := sim.ExploreSchedules(alg.New(), nodes, script, alg.NeedsCausal, 0, func(c *sim.Cluster) error {
-			want[c.Key()] = true
+			want[string(c.AppendBinary(nil))] = true
 			return nil
 		}); err != nil {
 			return fmt.Errorf("seed %d: sequential oracle: %w", seed, err)
@@ -247,7 +259,7 @@ func exploreChecks(alg registry.Algorithm, cfg Config) error {
 				if _, ok := c.Converged(alg.Abs); !ok {
 					return fmt.Errorf("replicas diverged at quiescence")
 				}
-				got[c.Key()] = true
+				got[string(c.AppendBinary(nil))] = true
 				return nil
 			})
 		if err != nil {
@@ -327,6 +339,178 @@ func chaosChecks(alg registry.Algorithm, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// snapshotChecks runs the snapshot-recovery battery item: the same
+// (script, seed, plan) chaos workload executes twice — once resyncing fresh
+// replicas by full log replay, once with snapshot checkpoints enabled
+// (stable-frontier snapshots through the registered state codec, broadcast-log
+// truncation up to the checkpoint frontier, snapshot-based resync). Both runs
+// must converge, and to byte-identical canonical per-node states: recovering
+// from a decoded snapshot plus the retained log suffix is observationally
+// equivalent to replaying the whole log. The plan is forced to contain a
+// fresh-crash window so the resync path actually runs, and across the seeds
+// the snapshot runs must have checkpointed, truncated log entries, and served
+// at least one resync from a snapshot.
+func snapshotChecks(alg registry.Algorithm, cfg Config) error {
+	if alg.DecodeState == nil {
+		return fmt.Errorf("algorithm bundle registers no state decoder")
+	}
+	const nodes = 3
+	ops := cfg.Steps / 4
+	if ops < 6 {
+		ops = 6
+	}
+	if ops > 12 {
+		ops = 12
+	}
+	seeds := cfg.ChaosSeeds
+	if seeds == 0 {
+		seeds = cfg.Seeds
+		if seeds > 4 {
+			seeds = 4
+		}
+	}
+	var checkpoints, truncated int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		plan := sim.GenFaultPlan(seed, nodes, 2*ops)
+		// Deterministically force a fresh-crash window: without one neither
+		// resync flavour runs and the item would compare nothing.
+		if len(plan.Crashes) == 0 {
+			plan.Crashes = append(plan.Crashes, sim.CrashWindow{Node: 1, From: ops / 2, To: ops, Fresh: true})
+		} else {
+			plan.Crashes[0].Fresh = true
+		}
+		run := func(snapEvery int) (*sim.ChaosReport, error) {
+			w := sim.Chaos{
+				Object: alg.New(), Abs: alg.Abs, Script: script, Plan: plan,
+				Nodes: nodes, Seed: seed, Causal: alg.NeedsCausal,
+				Decode: alg.DecodeEffector,
+			}
+			if snapEvery > 0 {
+				w.SnapshotEvery = snapEvery
+				w.DecodeState = alg.DecodeState
+			}
+			return w.Run()
+		}
+		base, err := run(0)
+		if err != nil {
+			return fmt.Errorf("seed %d (plan %s): log-replay run: %w", seed, plan, err)
+		}
+		snap, err := run(3)
+		if err != nil {
+			return fmt.Errorf("seed %d (plan %s): snapshot run: %w", seed, plan, err)
+		}
+		if _, ok := base.Cluster.Converged(alg.Abs); !ok {
+			return fmt.Errorf("seed %d (plan %s): log-replay run diverged:\n%s",
+				seed, plan, core.DivergenceReport(base.Trace, alg.New().Init(), alg.Abs, notes(base.Cluster)...))
+		}
+		if _, ok := snap.Cluster.Converged(alg.Abs); !ok {
+			return fmt.Errorf("seed %d (plan %s): snapshot run diverged:\n%s",
+				seed, plan, core.DivergenceReport(snap.Trace, alg.New().Init(), alg.Abs, notes(snap.Cluster)...))
+		}
+		for t := 0; t < nodes; t++ {
+			b := base.Cluster.StateOf(model.NodeID(t)).AppendBinary(nil)
+			s := snap.Cluster.StateOf(model.NodeID(t)).AppendBinary(nil)
+			if !bytes.Equal(b, s) {
+				return fmt.Errorf("seed %d (plan %s): node %d's canonical state differs between snapshot recovery and log replay",
+					seed, plan, t)
+			}
+		}
+		checkpoints += snap.Stats.Checkpoints
+		truncated += snap.Stats.LogTruncated
+	}
+	if checkpoints == 0 {
+		return fmt.Errorf("no snapshot run ever checkpointed — the stable frontier never advanced")
+	}
+	if truncated == 0 {
+		return fmt.Errorf("snapshot runs checkpointed but never truncated the broadcast log")
+	}
+	// Generated crash windows may close before the first checkpoint, in which
+	// case the resync above legally fell back to log replay. A deterministic
+	// mid-script crash guarantees the snapshot path itself is exercised: the
+	// crash happens after a full drain, so the frontier provably covers the
+	// first half of the script.
+	return snapshotResyncScenario(alg)
+}
+
+// snapshotResyncScenario crashes a replica mid-script on two otherwise
+// identical clusters — one with snapshot checkpoints, one without — recovers
+// it fresh, and requires byte-identical canonical states plus stats proving
+// the snapshot cluster served the resync from a decoded snapshot.
+func snapshotResyncScenario(alg registry.Algorithm) error {
+	const nodes, ops, seed = 3, 12, 7
+	crash := model.NodeID(nodes - 1)
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+	mk := func(snapshots bool) *sim.Cluster {
+		opts := []sim.Option{sim.WithWireCodec(alg.DecodeEffector)}
+		if alg.NeedsCausal {
+			opts = append(opts, sim.WithCausalDelivery())
+		}
+		if snapshots {
+			opts = append(opts, sim.WithSnapshots(3, alg.DecodeState))
+		}
+		return sim.NewCluster(alg.New(), nodes, opts...)
+	}
+	run := func(c *sim.Cluster) error {
+		half := len(script) / 2
+		for _, so := range script[:half] {
+			if _, _, err := c.Invoke(so.Node, so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+				return err
+			}
+			c.DeliverAll()
+		}
+		if err := c.Crash(crash); err != nil {
+			return err
+		}
+		for _, so := range script[half:] {
+			if so.Node == crash {
+				continue
+			}
+			if _, _, err := c.Invoke(so.Node, so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+				return err
+			}
+		}
+		c.DeliverAll()
+		if err := c.Recover(crash, true); err != nil {
+			return err
+		}
+		c.DeliverAll()
+		return nil
+	}
+	snap, replay := mk(true), mk(false)
+	if err := run(snap); err != nil {
+		return fmt.Errorf("snapshot cluster: %w", err)
+	}
+	if err := run(replay); err != nil {
+		return fmt.Errorf("log-replay cluster: %w", err)
+	}
+	for t := 0; t < nodes; t++ {
+		b := replay.StateOf(model.NodeID(t)).AppendBinary(nil)
+		s := snap.StateOf(model.NodeID(t)).AppendBinary(nil)
+		if !bytes.Equal(b, s) {
+			return fmt.Errorf("node %d's canonical state differs between snapshot resync and log replay", t)
+		}
+	}
+	st := snap.FaultStats()
+	if st.SnapshotResyncs != 1 {
+		return fmt.Errorf("snapshot resyncs = %d, want the fresh recovery served from a snapshot", st.SnapshotResyncs)
+	}
+	if st.Checkpoints == 0 || st.LogTruncated == 0 {
+		return fmt.Errorf("snapshot cluster never checkpointed and truncated (stats %+v)", st)
+	}
+	return nil
+}
+
+// notes adapts a cluster's recovery notes to DivergenceReport's interface.
+func notes(c *sim.Cluster) []fmt.Stringer {
+	rn := c.RecoveryNotes()
+	out := make([]fmt.Stringer, len(rn))
+	for i, n := range rn {
+		out[i] = n
+	}
+	return out
 }
 
 // codecChecks runs the codec round-trip battery item. For each seed it

@@ -62,8 +62,11 @@ func SummarizeFinalStates(tr trace.Trace, init crdt.State, abs crdt.Abstraction)
 }
 
 // DivergenceReport renders SummarizeFinalStates as a deterministic
-// multi-line diagnosis, one node per line.
-func DivergenceReport(tr trace.Trace, init crdt.State, abs crdt.Abstraction) string {
+// multi-line diagnosis, one node per line. Optional notes — typically the
+// cluster's RecoveryNotes, which say whether a crashed replica was rebuilt
+// from a snapshot or by log replay — are appended so a divergence after a
+// resync points at the recovery path that produced it.
+func DivergenceReport(tr trace.Trace, init crdt.State, abs crdt.Abstraction, notes ...fmt.Stringer) string {
 	var b strings.Builder
 	for _, s := range SummarizeFinalStates(tr, init, abs) {
 		fmt.Fprintf(&b, "  %s: %d effectful ops visible", s.Node, s.Visible)
@@ -75,6 +78,9 @@ func DivergenceReport(tr trace.Trace, init crdt.State, abs crdt.Abstraction) str
 			fmt.Fprintf(&b, " (missing %s)", strings.Join(ids, ","))
 		}
 		fmt.Fprintf(&b, ", φ(state) = %s\n", s.Abs)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&b, "  recovery: %s\n", n)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

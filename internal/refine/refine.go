@@ -91,8 +91,9 @@ func (r *Concrete) Apply(ch Choice) error { return r.C.Deliver(ch.Node, ch.MID) 
 // Clone implements Runtime.
 func (r *Concrete) Clone() Runtime { return &Concrete{C: r.C.Clone()} }
 
-// Key implements Runtime.
-func (r *Concrete) Key() string { return r.C.Key() }
+// Key implements Runtime. The canonical binary rendering is the cluster's
+// identity; equal configurations encode byte-equal.
+func (r *Concrete) Key() string { return string(r.C.AppendBinary(nil)) }
 
 // ---------------------------------------------------------------------------
 // Abstract runtime

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+)
+
+// TestCorruptProbScalesWithPayload: the per-KB rate adds to the flat rate in
+// proportion to the wire payload size, capped at certainty.
+func TestCorruptProbScalesWithPayload(t *testing.T) {
+	f := LinkFaults{Corrupt: 0.1, CorruptPerKB: 0.5}
+	if got := f.corruptProb(0); got != 0.1 {
+		t.Fatalf("corruptProb(0) = %v, want the flat rate", got)
+	}
+	if got := f.corruptProb(1024); got != 0.6 {
+		t.Fatalf("corruptProb(1KiB) = %v, want 0.6", got)
+	}
+	if got := f.corruptProb(1 << 20); got != 1 {
+		t.Fatalf("corruptProb(1MiB) = %v, want capped at 1", got)
+	}
+	if !(LinkFaults{CorruptPerKB: 0.2}).Active() {
+		t.Fatal("a per-KB-only fault config must count as active")
+	}
+	if (LinkFaults{}).corruptProb(4096) != 0 {
+		t.Fatal("no corruption configured must mean probability 0")
+	}
+}
+
+// TestChaosCorruptPerKBBites: with only the payload-size-aware rate set (no
+// flat rate), byte-shipping chaos runs must still see corrupted copies, the
+// decoder must reject every one of them, and the cluster must converge.
+func TestChaosCorruptPerKBBites(t *testing.T) {
+	alg := registry.RGA()
+	corrupted, rejected := 0, 0
+	for seed := int64(1); seed <= 4; seed++ {
+		script := GenScript(alg.New(), alg.Abs, GenFunc(alg.GenOp), 3, 12, seed, alg.NeedsCausal)
+		rep, err := Chaos{
+			Object: alg.New(), Abs: alg.Abs, Script: script,
+			Plan:  FaultPlan{Link: LinkFaults{CorruptPerKB: 8}},
+			Nodes: 3, Seed: seed, Causal: alg.NeedsCausal, Decode: alg.DecodeEffector,
+		}.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, ok := rep.Cluster.Converged(alg.Abs); !ok {
+			t.Fatalf("seed %d: diverged under per-KB corruption", seed)
+		}
+		corrupted += rep.Stats.Corrupted
+		rejected += rep.Stats.CorruptRejected
+	}
+	if corrupted == 0 {
+		t.Fatal("per-KB corruption never bit across 4 seeds")
+	}
+	if rejected != corrupted {
+		t.Fatalf("corrupted %d copies but the decoder rejected %d", corrupted, rejected)
+	}
+}
+
+// TestPartitionByteBudgetClosesEarly: a window sized by MaxInFlightBytes must
+// heal as soon as the payload bytes dammed up across the cut exceed the
+// budget — long before its scheduled end — and count in the stats; the same
+// window without a budget runs to its scheduled end.
+func TestPartitionByteBudgetClosesEarly(t *testing.T) {
+	alg := registry.GSet()
+	script := GenScript(alg.New(), alg.Abs, GenFunc(alg.GenOp), 3, 8, 3, false)
+	const horizon = 400
+	run := func(budget int) *ChaosReport {
+		rep, err := Chaos{
+			Object: alg.New(), Abs: alg.Abs, Script: script,
+			Plan: FaultPlan{Partitions: []PartitionWindow{{
+				From: 1, To: horizon, Groups: [][]model.NodeID{{0, 1}, {2}},
+				MaxInFlightBytes: budget,
+			}}},
+			Nodes: 3, Seed: 3, Decode: alg.DecodeEffector,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rep.Cluster.Converged(alg.Abs); !ok {
+			t.Fatal("cluster diverged after the partition healed")
+		}
+		return rep
+	}
+	budgeted, unbounded := run(1), run(0)
+	if budgeted.Stats.PartsClosedEarly != 1 {
+		t.Fatalf("parts closed early = %d, want 1", budgeted.Stats.PartsClosedEarly)
+	}
+	if unbounded.Stats.PartsClosedEarly != 0 {
+		t.Fatalf("unbudgeted window closed early: %+v", unbounded.Stats)
+	}
+	if budgeted.Stats.Heals != 1 || unbounded.Stats.Heals != 1 {
+		t.Fatalf("heals = %d/%d, want 1/1", budgeted.Stats.Heals, unbounded.Stats.Heals)
+	}
+	if budgeted.Ticks >= unbounded.Ticks || unbounded.Ticks < horizon {
+		t.Fatalf("budgeted run took %d ticks, unbudgeted %d — the budget did not shorten the window",
+			budgeted.Ticks, unbounded.Ticks)
+	}
+}
+
+// TestFaultPlanStringRendersBudgets: the new payload-aware fields render only
+// when set, so recipes recorded before they existed print unchanged.
+func TestFaultPlanStringRendersBudgets(t *testing.T) {
+	old := FaultPlan{
+		Link:       LinkFaults{Loss: 0.1, Corrupt: 0.2},
+		Partitions: []PartitionWindow{{From: 1, To: 5, Groups: [][]model.NodeID{{0}, {1}}}},
+	}
+	if s := old.String(); strings.Contains(s, "corrupt/KB") || strings.Contains(s, "<=") {
+		t.Fatalf("plan without budgets renders them: %s", s)
+	}
+	budgeted := old
+	budgeted.Link.CorruptPerKB = 0.25
+	budgeted.Partitions = []PartitionWindow{{From: 1, To: 5, Groups: [][]model.NodeID{{0}, {1}}, MaxInFlightBytes: 128}}
+	s := budgeted.String()
+	if !strings.Contains(s, "corrupt/KB=0.25") {
+		t.Fatalf("per-KB rate missing from %s", s)
+	}
+	if !strings.Contains(s, "<=128B") {
+		t.Fatalf("byte budget missing from %s", s)
+	}
+}
+
+// TestGenFaultPlanDrawsBudgets: the generator draws the payload-aware fields
+// (appended after every pre-existing draw), attaches byte budgets only to
+// plans that have a partition window, and keeps the documented ranges.
+func TestGenFaultPlanDrawsBudgets(t *testing.T) {
+	perKB, budgets := 0, 0
+	for seed := int64(0); seed < 100; seed++ {
+		p := GenFaultPlan(seed, 4, 20)
+		if p.Link.CorruptPerKB < 0 || p.Link.CorruptPerKB > 0.25 {
+			t.Fatalf("seed %d: CorruptPerKB = %v out of range", seed, p.Link.CorruptPerKB)
+		}
+		if p.Link.CorruptPerKB > 0 {
+			perKB++
+		}
+		for _, w := range p.Partitions {
+			if w.MaxInFlightBytes < 0 || w.MaxInFlightBytes > 512 {
+				t.Fatalf("seed %d: MaxInFlightBytes = %d out of range", seed, w.MaxInFlightBytes)
+			}
+			if w.MaxInFlightBytes > 0 {
+				budgets++
+			}
+		}
+	}
+	if perKB == 0 {
+		t.Fatal("no generated plan draws a per-KB corruption rate")
+	}
+	if budgets == 0 {
+		t.Fatal("no generated partition window draws a byte budget")
+	}
+}

@@ -1,22 +1,23 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/model"
 )
 
 // Clone deep-copies the cluster so exhaustive explorers can branch. Replica
-// states, effectors and messages are immutable and therefore shared (a
-// duplicate copy being consumed replaces its message copy-on-write, so the
+// states, effectors and messages are immutable and therefore shared (the
+// transport replaces a partially consumed duplicate copy-on-write, so the
 // sharing stays safe). The link-fault RNG, when present, is shared too:
 // explorers operate on clean clusters, and chaos runs never branch.
 func (c *Cluster) Clone() *Cluster {
-	cp := &Cluster{obj: c.obj, causal: c.causal, nextMID: c.nextMID, now: c.now, net: c.net, stats: c.stats, dec: c.dec}
-	cp.partition = append([]int(nil), c.partition...)
+	cp := &Cluster{
+		obj: c.obj, causal: c.causal, nextMID: c.nextMID,
+		net: c.net.Clone(), faults: c.faults, stats: c.stats, dec: c.dec,
+		snapEvery: c.snapEvery, decState: c.decState, sinceCkpt: c.sinceCkpt,
+	}
 	for _, row := range c.linkBytes {
 		cp.linkBytes = append(cp.linkBytes, append([]int(nil), row...))
 	}
@@ -24,19 +25,20 @@ func (c *Cluster) Clone() *Cluster {
 	cp.tr = append(cp.tr, c.tr...)
 	cp.down = append([]bool(nil), c.down...)
 	cp.msglog = append([]*message(nil), c.msglog...)
+	cp.recov = append([]RecoveryNote(nil), c.recov...)
+	if c.snap != nil {
+		ns := &snapshot{state: c.snap.state, covered: make(map[model.MsgID]bool, len(c.snap.covered)), wire: c.snap.wire}
+		for k := range c.snap.covered {
+			ns.covered[k] = true
+		}
+		cp.snap = ns
+	}
 	for _, a := range c.applied {
 		na := make(map[model.MsgID]bool, len(a))
 		for k := range a {
 			na[k] = true
 		}
 		cp.applied = append(cp.applied, na)
-	}
-	for _, box := range c.inbox {
-		nb := make(map[model.MsgID]*message, len(box))
-		for k, v := range box {
-			nb[k] = v
-		}
-		cp.inbox = append(cp.inbox, nb)
 	}
 	for _, d := range c.dropped {
 		nd := make(map[model.MsgID]bool, len(d))
@@ -48,76 +50,31 @@ func (c *Cluster) Clone() *Cluster {
 	return cp
 }
 
-// Key canonically renders the cluster's future-relevant state (replica
-// states, pending messages with their contents, dependencies, remaining
-// copies and arrival ticks, applied sets, crash flags and the virtual clock)
-// as a human-readable string — the debug shim used by divergence reports and
-// the conformance battery's terminal-set comparison. The explorers' hot
-// dedup path uses Fingerprint over AppendBinary, the binary mirror of this
-// rendering, instead. Message contents are included because two
-// exploration branches may reuse the same MsgID for different operations;
-// copies and arrival ticks are included so faulty schedules — where the same
-// MsgID can still have duplicates queued or a latency window pending — never
-// collide with states whose futures differ. On the clean clusters the
-// explorers build, these fields are constant and the keys stay equivalent.
+// AppendBinary canonically renders the cluster's future-relevant state —
+// the virtual clock, each replica's state, crash flag, pending messages
+// (with their effectors, dependencies, remaining copies and arrival ticks)
+// and applied set — through the canonical codec. State and effector
+// encodings are length-prefixed so the stream parses unambiguously whatever
+// the algorithm, and every collection is emitted in sorted order, so equal
+// configurations produce byte-equal encodings. Message contents are
+// included because two exploration branches may reuse the same MsgID for
+// different operations; copies and arrival ticks are included so faulty
+// schedules — where the same MsgID can still have duplicates queued or a
+// latency window pending — never collide with states whose futures differ.
 // The dropped sets are deliberately excluded: a dropped message can never
 // affect future behaviour, only Drop's error classification.
-func (c *Cluster) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "@%d|", c.now)
-	for t, s := range c.states {
-		fmt.Fprintf(&b, "t%d=%s", t, s.Key())
-		if c.down[t] {
-			b.WriteByte('!')
-		}
-		b.WriteByte('|')
-		pend := make([]int, 0, len(c.inbox[t]))
-		for mid := range c.inbox[t] {
-			pend = append(pend, int(mid))
-		}
-		sort.Ints(pend)
-		b.WriteString("p[")
-		for _, mid := range pend {
-			msg := c.inbox[t][model.MsgID(mid)]
-			deps := make([]int, 0, len(msg.deps))
-			for d := range msg.deps {
-				deps = append(deps, int(d))
-			}
-			sort.Ints(deps)
-			fmt.Fprintf(&b, "%d=%s%v*%d@%d,", mid, msg.eff, deps, msg.copies, msg.readyAt)
-		}
-		b.WriteString("]|")
-		app := make([]int, 0, len(c.applied[t]))
-		for mid := range c.applied[t] {
-			app = append(app, int(mid))
-		}
-		sort.Ints(app)
-		fmt.Fprintf(&b, "a%v;", app)
-	}
-	return b.String()
-}
-
-// AppendBinary is the binary mirror of Key: the cluster's future-relevant
-// state rendered through the canonical codec. State and effector encodings
-// are length-prefixed so the stream parses unambiguously whatever the
-// algorithm, and every collection is emitted in sorted order, so equal
-// configurations produce byte-equal encodings. This is what the explorers
-// fingerprint instead of building Key strings on the hot path.
 func (c *Cluster) AppendBinary(b []byte) []byte {
 	var scratch []byte
-	b = codec.AppendUvarint(b, uint64(c.now))
+	b = codec.AppendUvarint(b, uint64(c.net.Now()))
 	for t, s := range c.states {
 		scratch = s.AppendBinary(scratch[:0])
 		b = codec.AppendBytes(b, scratch)
 		b = codec.AppendBool(b, c.down[t])
-		pend := make([]int, 0, len(c.inbox[t]))
-		for mid := range c.inbox[t] {
-			pend = append(pend, int(mid))
-		}
-		sort.Ints(pend)
+		pend := c.net.Mids(model.NodeID(t))
 		b = codec.AppendUvarint(b, uint64(len(pend)))
 		for _, mid := range pend {
-			msg := c.inbox[t][model.MsgID(mid)]
+			q, _ := c.net.Get(model.NodeID(t), mid)
+			msg := q.Item.(*message)
 			b = codec.AppendUvarint(b, uint64(mid))
 			scratch = msg.eff.AppendBinary(scratch[:0])
 			b = codec.AppendBytes(b, scratch)
@@ -130,8 +87,8 @@ func (c *Cluster) AppendBinary(b []byte) []byte {
 			for _, d := range deps {
 				b = codec.AppendUvarint(b, uint64(d))
 			}
-			b = codec.AppendUvarint(b, uint64(msg.copies))
-			b = codec.AppendVarint(b, int64(msg.readyAt))
+			b = codec.AppendUvarint(b, uint64(q.Copies))
+			b = codec.AppendVarint(b, int64(q.ReadyAt))
 		}
 		app := make([]int, 0, len(c.applied[t]))
 		for mid := range c.applied[t] {
@@ -150,7 +107,7 @@ func (c *Cluster) AppendBinary(b []byte) []byte {
 // canonical binary rendering to 64 bits. Distinct configurations collide
 // with probability ~2⁻⁶⁴ per pair — negligible at the explorers' state
 // budgets — so the explorers dedup on fingerprints instead of interning
-// Key strings.
+// rendered state strings.
 func (c *Cluster) Fingerprint(tag uint64) uint64 {
 	b := make([]byte, 0, 512)
 	b = codec.AppendUvarint(b, tag)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // This file is the fault-injection layer: seeded link faults applied to
@@ -49,11 +50,25 @@ type LinkFaults struct {
 	// ErrCorruptPayload and a clean retransmission is queued — corruption
 	// must never reach Effector.Apply.
 	Corrupt float64
+	// CorruptPerKB adds payload-size-aware corruption on top of Corrupt:
+	// each queued copy's corruption probability grows by CorruptPerKB for
+	// every KiB of wire payload, modelling that bigger frames expose more
+	// bits to the link. The combined probability is capped at 1.
+	CorruptPerKB float64
 }
 
 // Active reports whether any link fault is configured.
 func (f LinkFaults) Active() bool {
-	return f.Loss > 0 || f.Dup > 0 || f.DelayMax > 0 || f.Corrupt > 0
+	return f.Loss > 0 || f.Dup > 0 || f.DelayMax > 0 || f.Corrupt > 0 || f.CorruptPerKB > 0
+}
+
+// corruptProb returns the corruption probability for a payload of n bytes.
+func (f LinkFaults) corruptProb(n int) float64 {
+	p := f.Corrupt + f.CorruptPerKB*float64(n)/1024
+	if p > 1 {
+		p = 1
+	}
+	return p
 }
 
 // linkFaults pairs the configuration with its seeded RNG on the cluster.
@@ -67,7 +82,7 @@ type linkFaults struct {
 func WithLinkFaults(f LinkFaults, seed int64) Option {
 	return func(c *Cluster) {
 		if f.Active() {
-			c.net = &linkFaults{cfg: f, rng: rand.New(rand.NewSource(seed))}
+			c.faults = &linkFaults{cfg: f, rng: rand.New(rand.NewSource(seed))}
 		}
 	}
 }
@@ -75,16 +90,16 @@ func WithLinkFaults(f LinkFaults, seed int64) Option {
 // perturb applies the link faults to one freshly queued copy. The RNG is
 // consulted in a fixed order per copy, and Invoke queues copies in
 // destination order, so runs are reproducible from the seed.
-func (n *linkFaults) perturb(c *Cluster, m *message) {
+func (n *linkFaults) perturb(c *Cluster, q *transport.Queued) {
 	f := n.cfg
 	if f.Loss > 0 && n.rng.Float64() < f.Loss {
 		c.stats.Lost++
-		m.readyAt += f.DelayMax + 1 // retransmission outlasts any reorder delay
+		q.ReadyAt += f.DelayMax + 1 // retransmission outlasts any reorder delay
 	}
 	if f.DelayMax > 0 {
 		if d := n.rng.Intn(f.DelayMax + 1); d > 0 {
 			c.stats.Delayed++
-			m.readyAt += d
+			q.ReadyAt += d
 		}
 	}
 	if f.Dup > 0 && n.rng.Float64() < f.Dup {
@@ -92,16 +107,20 @@ func (n *linkFaults) perturb(c *Cluster, m *message) {
 		if f.MaxDup > 1 {
 			extra = 1 + n.rng.Intn(f.MaxDup)
 		}
-		m.copies += extra
+		q.Copies += extra
 		c.stats.Duplicated += extra
 	}
 	// Corruption is drawn last, and only when configured, so plans without
-	// it consume exactly the RNG stream older seeds were recorded against.
-	if f.Corrupt > 0 && m.payload != nil && n.rng.Float64() < f.Corrupt {
-		bit := n.rng.Intn(len(m.payload) * 8)
-		cp := append([]byte(nil), m.payload...) // payloads are shared across copies
+	// it consume exactly the RNG stream older seeds were recorded against
+	// (CorruptPerKB=0 leaves both the draw condition and the probability of
+	// plans recorded before it existed unchanged).
+	if (f.Corrupt > 0 || f.CorruptPerKB > 0) && q.Frame.Payload != nil &&
+		n.rng.Float64() < f.corruptProb(len(q.Frame.Payload)) {
+		payload := q.Frame.Payload
+		bit := n.rng.Intn(len(payload) * 8)
+		cp := append([]byte(nil), payload...) // payloads are shared across copies
 		cp[bit/8] ^= 1 << (bit % 8)
-		m.payload = cp
+		q.Frame.Payload = cp
 		c.stats.Corrupted++
 	}
 }
@@ -119,7 +138,7 @@ type FaultStats struct {
 	// layer suppressed instead of reapplying.
 	DupSuppressed int
 	// Crashes, Recoveries and Resyncs count node failures; Resyncs are the
-	// fresh-replica recoveries that replayed the broadcast log.
+	// fresh-replica recoveries that resynced from the durable broadcast log.
 	Crashes, Recoveries, Resyncs int
 	// Partitions and Heals count partition transitions.
 	Partitions, Heals int
@@ -132,23 +151,47 @@ type FaultStats struct {
 	// including duplicated copies and corruption retransmissions (see
 	// Cluster.LinkBytes for the per-link split).
 	PayloadBytes int
+	// Checkpoints counts snapshot checkpoints that advanced the stable
+	// frontier; LogTruncated counts broadcast-log entries truncated by them;
+	// SnapshotBytes totals the encoded snapshot frames written.
+	Checkpoints, LogTruncated, SnapshotBytes int
+	// SnapshotResyncs counts the fresh recoveries that restored a replica
+	// from a decoded snapshot (the rest of Resyncs replayed the full log).
+	SnapshotResyncs int
+	// PartsClosedEarly counts partition windows a byte budget closed before
+	// their scheduled end (PartitionWindow.MaxInFlightBytes).
+	PartsClosedEarly int
 }
 
 // String renders the stats compactly.
 func (s FaultStats) String() string {
-	return fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d corrupted=%d corrupt-rejected=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d payload=%dB",
+	out := fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d corrupted=%d corrupt-rejected=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d payload=%dB",
 		s.Lost, s.Delayed, s.Duplicated, s.DupSuppressed, s.Corrupted, s.CorruptRejected, s.Crashes, s.Recoveries, s.Resyncs, s.Partitions, s.Heals, s.PayloadBytes)
+	if s.Checkpoints > 0 || s.SnapshotResyncs > 0 {
+		out += fmt.Sprintf(" checkpoints=%d truncated=%d snap-resyncs=%d snap=%dB",
+			s.Checkpoints, s.LogTruncated, s.SnapshotResyncs, s.SnapshotBytes)
+	}
+	if s.PartsClosedEarly > 0 {
+		out += fmt.Sprintf(" parts-closed-early=%d", s.PartsClosedEarly)
+	}
+	return out
 }
 
 // PartitionWindow cuts the cluster into Groups during ticks [From, To).
 type PartitionWindow struct {
 	From, To int
 	Groups   [][]model.NodeID
+	// MaxInFlightBytes, when positive, sizes the window to the traffic it
+	// dams up instead of only to the clock: once the wire payload bytes
+	// queued across the cut exceed the budget, the partition heals early.
+	// It only bites on clusters that ship bytes (WithWireCodec).
+	MaxInFlightBytes int
 }
 
 // CrashWindow takes Node down during ticks [From, To). With Fresh the node
-// recovers as a replacement replica that resyncs from the broadcast log;
-// otherwise it restarts from its durable state.
+// recovers as a replacement replica that resyncs from the latest snapshot
+// checkpoint and the retained broadcast log; otherwise it restarts from its
+// durable state.
 type CrashWindow struct {
 	Node     model.NodeID
 	From, To int
@@ -182,13 +225,21 @@ func (p FaultPlan) Horizon() int {
 }
 
 // String renders the plan deterministically (part of the reproduction
-// recipe printed by crdt-sim -chaos).
+// recipe printed by crdt-sim -chaos). Fields added after a recipe format was
+// published render only when set, so older recipes print unchanged.
 func (p FaultPlan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "link{loss=%.2f dup=%.2f maxdup=%d delay=%d corrupt=%.2f}",
+	fmt.Fprintf(&b, "link{loss=%.2f dup=%.2f maxdup=%d delay=%d corrupt=%.2f",
 		p.Link.Loss, p.Link.Dup, p.Link.MaxDup, p.Link.DelayMax, p.Link.Corrupt)
+	if p.Link.CorruptPerKB > 0 {
+		fmt.Fprintf(&b, " corrupt/KB=%.2f", p.Link.CorruptPerKB)
+	}
+	b.WriteByte('}')
 	for _, w := range p.Partitions {
 		fmt.Fprintf(&b, " part[%d,%d)%v", w.From, w.To, w.Groups)
+		if w.MaxInFlightBytes > 0 {
+			fmt.Fprintf(&b, "<=%dB", w.MaxInFlightBytes)
+		}
 	}
 	for _, w := range p.Crashes {
 		mode := "durable"
@@ -222,6 +273,14 @@ type Chaos struct {
 	// decodes it — the setting under which the plan's corruption faults
 	// actually bite.
 	Decode crdt.EffectorDecoder
+	// SnapshotEvery, when positive, enables snapshot checkpoints every that
+	// many broadcast-log appends (WithSnapshots): the log is truncated up to
+	// the stable frontier and fresh recoveries resync from the decoded
+	// snapshot instead of a full log replay. Requires DecodeState.
+	SnapshotEvery int
+	// DecodeState is the algorithm's registered state decoder, used to
+	// restore snapshots (required when SnapshotEvery is set).
+	DecodeState crdt.StateDecoder
 	// SyncInvokes drains every message addressed to the invoking node
 	// before each scripted invoke, so prepare-time visibility matches the
 	// clean invoke-then-drain oracle (used by the differential tests).
@@ -261,21 +320,55 @@ func (w Chaos) Run() (*ChaosReport, error) {
 	if w.Decode != nil {
 		opts = append(opts, WithWireCodec(w.Decode))
 	}
+	if w.SnapshotEvery > 0 {
+		if w.DecodeState == nil {
+			return nil, errors.New("sim: chaos with SnapshotEvery needs DecodeState (the registered state decoder)")
+		}
+		opts = append(opts, WithSnapshots(w.SnapshotEvery, w.DecodeState))
+	}
 	c := NewCluster(w.Object, nodes, opts...)
 	sched := rand.New(rand.NewSource(w.Seed ^ schedMix))
-	horizon := w.Plan.Horizon()
 	next := 0
 	activePart := -1 // index into Plan.Partitions, -1 = none
-	for next < len(w.Script) || c.now < horizon {
-		if c.now > maxTicks {
+	// closedEarly marks partition windows whose byte budget healed them
+	// before their scheduled end; they must not reopen.
+	closedEarly := make([]bool, len(w.Plan.Partitions))
+	// horizon is the tick by which every still-relevant window has closed. A
+	// partition window its byte budget closed early stops contributing, so a
+	// budget genuinely shortens the run; without budgets this equals the
+	// plan's static Horizon on every tick.
+	horizon := func() int {
+		h := 0
+		for i, pw := range w.Plan.Partitions {
+			if !closedEarly[i] && pw.To > h {
+				h = pw.To
+			}
+		}
+		for _, cw := range w.Plan.Crashes {
+			if cw.To > h {
+				h = cw.To
+			}
+		}
+		return h
+	}
+	for next < len(w.Script) || c.Now() < horizon() {
+		if c.Now() > maxTicks {
 			return nil, fmt.Errorf("sim: chaos run did not finish its script within %d ticks (%d/%d ops issued)",
 				maxTicks, next, len(w.Script))
 		}
 		// 1. Open and close fault windows scheduled for this tick. Windows
-		// are applied in plan order, deterministically.
+		// are applied in plan order, deterministically. A window whose byte
+		// budget is exhausted closes early and stays closed.
+		if activePart != -1 {
+			pw := w.Plan.Partitions[activePart]
+			if pw.MaxInFlightBytes > 0 && c.net.InFlightBytesAcross() > pw.MaxInFlightBytes {
+				closedEarly[activePart] = true
+				c.stats.PartsClosedEarly++
+			}
+		}
 		want := -1
 		for i, pw := range w.Plan.Partitions {
-			if pw.From <= c.now && c.now < pw.To {
+			if pw.From <= c.Now() && c.Now() < pw.To && !closedEarly[i] {
 				want = i
 				break
 			}
@@ -292,12 +385,12 @@ func (w Chaos) Run() (*ChaosReport, error) {
 			activePart = want
 		}
 		for _, cw := range w.Plan.Crashes {
-			if cw.From == c.now {
+			if cw.From == c.Now() {
 				if err := c.Crash(cw.Node); err != nil {
 					return nil, err
 				}
 			}
-			if cw.To == c.now && c.Down(cw.Node) {
+			if cw.To == c.Now() && c.Down(cw.Node) {
 				if err := c.Recover(cw.Node, cw.Fresh); err != nil {
 					return nil, err
 				}
@@ -365,7 +458,7 @@ func (w Chaos) Run() (*ChaosReport, error) {
 // crash blocking the node).
 func (c *Cluster) drainTo(dst model.NodeID, maxTicks int) error {
 	for c.PendingTo(dst) > 0 {
-		if c.now > maxTicks {
+		if c.Now() > maxTicks {
 			return fmt.Errorf("sim: draining node %s exceeded %d ticks", dst, maxTicks)
 		}
 		progress := false
@@ -377,8 +470,8 @@ func (c *Cluster) drainTo(dst model.NodeID, maxTicks int) error {
 		if progress {
 			continue
 		}
-		if next, ok := c.nextArrival(); ok && next > c.now {
-			c.now = next
+		if next, ok := c.nextArrival(); ok && next > c.Now() {
+			c.net.AdvanceTo(next)
 			continue
 		}
 		return fmt.Errorf("sim: node %s cannot drain: %d copies blocked", dst, c.PendingTo(dst))

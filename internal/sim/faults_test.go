@@ -338,22 +338,22 @@ func TestGenFaultPlanDeterministic(t *testing.T) {
 func TestCloneKeyReflectsFaultState(t *testing.T) {
 	alg := registry.Counter()
 	c := NewCluster(alg.New(), 2, WithLinkFaults(LinkFaults{Dup: 1, MaxDup: 1, DelayMax: 2}, 42))
-	base := c.Key()
+	base := ckey(c)
 	if _, _, err := c.Invoke(0, model.Op{Name: spec.OpInc, Arg: model.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
-	afterInvoke := c.Key()
+	afterInvoke := ckey(c)
 	if afterInvoke == base {
 		t.Fatal("Key must change when a faulted copy is queued")
 	}
 	c.Tick()
-	if c.Key() == afterInvoke {
+	if ckey(c) == afterInvoke {
 		t.Fatal("Key must include the virtual clock")
 	}
 	if err := c.Crash(1); err != nil {
 		t.Fatal(err)
 	}
-	if k := c.Key(); k == afterInvoke {
+	if k := ckey(c); k == afterInvoke {
 		t.Fatal("Key must mark crashed nodes")
 	}
 }

@@ -105,5 +105,15 @@ func GenFaultPlan(seed int64, nodes, horizon int) FaultPlan {
 	if rng.Intn(3) > 0 {
 		p.Link.Corrupt = 0.05 + 0.15*rng.Float64()
 	}
+	// Payload-aware budgets, again drawn after everything older: a per-KB
+	// corruption rate that makes large effectors proportionally riskier, and a
+	// byte budget that heals a partition window early once too many payload
+	// bytes pile up against the cut.
+	if rng.Intn(3) > 0 {
+		p.Link.CorruptPerKB = 0.05 + 0.20*rng.Float64()
+	}
+	if len(p.Partitions) > 0 && rng.Intn(2) == 0 {
+		p.Partitions[0].MaxInFlightBytes = 64 * (1 + rng.Intn(8))
+	}
 	return p
 }

@@ -18,7 +18,7 @@ func sequentialTerminalKeys(t *testing.T, alg registry.Algorithm, script Script)
 	t.Helper()
 	keys := map[string]bool{}
 	_, err := ExploreSchedules(alg.New(), 2, script, alg.NeedsCausal, 0, func(c *Cluster) error {
-		keys[c.Key()] = true
+		keys[ckey(c)] = true
 		return nil
 	})
 	if err != nil {
@@ -32,7 +32,7 @@ func parallelTerminalKeys(t *testing.T, alg registry.Algorithm, script Script, n
 	t.Helper()
 	keys := map[string]bool{}
 	terminals, stats, err := ExploreSchedulesParallel(alg.New(), nodes, script, alg.NeedsCausal, cfg, func(c *Cluster) error {
-		keys[c.Key()] = true
+		keys[ckey(c)] = true
 		return nil
 	})
 	if err != nil {
@@ -298,7 +298,7 @@ func TestExploreParallelCausalThreeNodes(t *testing.T) {
 				if _, ok := c.Converged(alg.Abs); !ok {
 					return fmt.Errorf("replicas diverged at quiescence")
 				}
-				pruned[c.Key()] = true
+				pruned[ckey(c)] = true
 				return nil
 			})
 			if err != nil {
@@ -306,7 +306,7 @@ func TestExploreParallelCausalThreeNodes(t *testing.T) {
 			}
 			full := map[string]bool{}
 			_, _, err = ExploreSchedulesParallel(alg.New(), 3, script, true, ParallelConfig{Workers: 4, NoPrune: true}, func(c *Cluster) error {
-				full[c.Key()] = true
+				full[ckey(c)] = true
 				return nil
 			})
 			if err != nil {

@@ -4,13 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/model"
-	"repro/internal/trace"
 )
 
 // This file holds the availability faults: link partitions (messages queue
 // across the cut until Heal) and node crashes (a crashed node serves nothing
 // until Recover, which either resumes its durable state or resyncs a fresh
-// replica from the cluster's broadcast log).
+// replica from the latest snapshot checkpoint and the retained broadcast
+// log — see snapshot.go). Partition membership is validated here; the link
+// gating itself lives in the transport layer.
 
 // Partition splits the cluster into link-disjoint groups: messages between
 // nodes in different groups stop being deliverable (they stay queued, not
@@ -40,7 +41,7 @@ func (c *Cluster) Partition(groups ...[]model.NodeID) error {
 			next++
 		}
 	}
-	c.partition = side
+	c.net.SetPartition(side)
 	c.stats.Partitions++
 	return nil
 }
@@ -48,22 +49,14 @@ func (c *Cluster) Partition(groups ...[]model.NodeID) error {
 // Heal removes the partition; everything queued becomes deliverable again
 // (subject to causal delivery and latency windows).
 func (c *Cluster) Heal() {
-	if c.partition != nil {
+	if c.net.Partitioned() {
 		c.stats.Heals++
 	}
-	c.partition = nil
+	c.net.Heal()
 }
 
 // Partitioned reports whether a partition is in effect.
-func (c *Cluster) Partitioned() bool { return c.partition != nil }
-
-// linked reports whether messages may currently flow from a to b.
-func (c *Cluster) linked(a, b model.NodeID) bool {
-	if c.partition == nil {
-		return true
-	}
-	return c.partition[a] == c.partition[b]
-}
+func (c *Cluster) Partitioned() bool { return c.net.Partitioned() }
 
 // Crash takes node t down: until Recover it accepts no invocations and no
 // deliveries. Messages addressed to it stay queued in the network, and
@@ -83,13 +76,11 @@ func (c *Cluster) Crash(t model.NodeID) error {
 // Recover brings a crashed node back. With fresh=false the node restarts
 // from its durable replica state and simply resumes consuming its queue.
 // With fresh=true the replica is replaced: its in-flight queue is discarded
-// and every broadcast effector it has not yet applied is re-delivered from
-// the cluster's durable op log in MsgID order — an order consistent with
-// happens-before, so causal delivery is preserved — which is the
-// anti-entropy catch-up a real op-based system performs when resyncing a
-// replacement replica. The re-deliveries are recorded as ordinary delivery
-// events, keeping the trace well-formed (each effector still reaches the
-// node at most once).
+// and it resyncs from the cluster's durable history — the decoded snapshot
+// checkpoint plus the retained broadcast log when checkpoints are enabled
+// (WithSnapshots), or a full log replay otherwise; see snapshot.go. Either
+// way the re-deliveries are recorded as ordinary delivery events, keeping
+// the trace well-formed (each effector still reaches the node at most once).
 func (c *Cluster) Recover(t model.NodeID, fresh bool) error {
 	if int(t) < 0 || int(t) >= c.N() {
 		return fmt.Errorf("sim: no such node %s", t)
@@ -102,19 +93,7 @@ func (c *Cluster) Recover(t model.NodeID, fresh bool) error {
 	if !fresh {
 		return nil
 	}
-	c.stats.Resyncs++
-	c.inbox[t] = map[model.MsgID]*message{}
-	for _, m := range c.msglog {
-		if c.applied[t][m.mid] {
-			continue // already applied (or its own origin)
-		}
-		c.states[t] = m.eff.Apply(c.states[t])
-		c.applied[t][m.mid] = true
-		c.tr = append(c.tr, trace.Event{
-			MID: m.mid, Node: t, Origin: m.from, Op: m.op, Eff: m.eff, IsOrigin: false,
-		})
-	}
-	return nil
+	return c.resyncFresh(t)
 }
 
 // Down reports whether node t is crashed.

@@ -10,12 +10,20 @@
 // deliveries (to replay the paper's figures), random schedules (for
 // property-based soundness harnesses), and full drains (to reach quiescence).
 //
-// Beyond the clean network, the cluster carries a seeded fault-injection
-// layer (faults.go): per-link loss with retransmission, bounded duplication
-// (suppressed by the at-most-once delivery layer), reorder/latency windows
-// over a virtual clock, transient partitions (partition.go), and node
-// crash/recovery with either durable restart or fresh-replica resync. Every
-// faulty execution is replayable from (script, seed, fault plan).
+// Since the transport split, Cluster is a thin composition of layers:
+//
+//	replica layer      states, Prepare/Apply, the trace, the broadcast log
+//	                   and its snapshot checkpoints (snapshot.go)
+//	delivery layer     at-most-once dedup, causal gating, crash state
+//	fault layer        seeded link perturbation and fault plans (faults.go,
+//	                   partition.go)
+//	transport layer    transport.Mem — per-destination frame queues over a
+//	                   virtual clock with partition gating
+//
+// Everything below the delivery layer moves checksummed codec frames; the
+// same frames travel over unix/TCP sockets between OS processes via
+// transport.Stream and transport.Peer. Every faulty execution remains
+// replayable from (script, seed, fault plan).
 package sim
 
 import (
@@ -27,6 +35,7 @@ import (
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Sentinel errors classifying why a delivery-queue operation was refused.
@@ -54,58 +63,63 @@ var (
 	ErrCorruptPayload = errors.New("sim: corrupt payload rejected")
 )
 
-// message is one in-flight effector addressed to a single destination node.
+// message is the delivery-layer view of one broadcast effector: the operation
+// it came from, the decoded effector, and the operations visible at the
+// origin when it was issued (its causal dependency set). It rides along each
+// queued transport copy as the opaque Item, and is what the broadcast log
+// stores.
 type message struct {
 	mid  model.MsgID
 	from model.NodeID
 	op   model.Op
 	eff  crdt.Effector
-	deps map[model.MsgID]bool // operations visible at the origin when issued
-	// copies is how many network copies remain queued (>1 after a
-	// duplication fault; the delivery layer applies the effector at most
-	// once and suppresses the rest).
-	copies int
-	// readyAt is the earliest virtual-clock tick at which the copy may be
-	// delivered (loss-retransmission and reorder windows push it forward).
-	readyAt int
-	// payload is the effector's framed wire encoding; nil unless the
-	// cluster ships bytes (WithWireCodec). A corruption fault flips a bit
-	// here, and delivery decodes it instead of using eff directly.
-	payload []byte
+	deps map[model.MsgID]bool
 }
 
 // Cluster is a simulated replicated system running one CRDT object.
 type Cluster struct {
+	// --- replica layer ---
 	obj     crdt.Object
-	causal  bool
 	states  []crdt.State
-	applied []map[model.MsgID]bool // effectors applied per node
-	inbox   []map[model.MsgID]*message
-	dropped []map[model.MsgID]bool // messages discarded per node (Drop)
 	tr      trace.Trace
 	nextMID model.MsgID
-	// partition, when non-nil, assigns each node to a link group; messages
-	// only flow within a group (see Partition/Heal).
-	partition []int
+	// msglog is the durable broadcast log, in MsgID (hence happens-before
+	// consistent) order; fresh-replica resync replays it from the latest
+	// snapshot checkpoint (see Recover and snapshot.go), and checkpoints
+	// truncate it up to the stable frontier.
+	msglog []*message
+
+	// --- delivery layer ---
+	causal  bool
+	applied []map[model.MsgID]bool // effectors applied per node
+	dropped []map[model.MsgID]bool // messages discarded per node (Drop)
 	// down marks crashed nodes: they accept no invocations and no
 	// deliveries until Recover (messages stay queued in the network).
 	down []bool
-	// msglog is the durable broadcast log, in MsgID (hence happens-before
-	// consistent) order; fresh-replica resync replays it (see Recover).
-	msglog []*message
-	// now is the virtual clock the latency windows are measured against;
-	// it only advances via Tick or a drain that must outwait a window.
-	now int
-	// net, when non-nil, perturbs every queued copy with seeded link
-	// faults (loss → retransmission delay, duplication, reorder delay,
-	// payload corruption).
-	net   *linkFaults
-	stats FaultStats
+
+	// --- transport layer ---
+	// net queues frame copies per destination over the virtual clock and
+	// gates them on partitions; the delivery layer schedules consumption.
+	net *transport.Mem
 	// dec, when non-nil, makes the cluster ship bytes: Invoke encodes each
 	// broadcast effector into a framed payload, delivery decodes it with
 	// dec, and linkBytes counts the payload bytes queued per link.
 	dec       crdt.EffectorDecoder
 	linkBytes [][]int // [from][to] payload bytes queued
+
+	// --- fault layer ---
+	// faults, when non-nil, perturbs every queued copy with seeded link
+	// faults (loss → retransmission delay, duplication, reorder delay,
+	// payload corruption).
+	faults *linkFaults
+	stats  FaultStats
+
+	// --- snapshot checkpoints (snapshot.go) ---
+	snapEvery int
+	decState  crdt.StateDecoder
+	sinceCkpt int
+	snap      *snapshot
+	recov     []RecoveryNote
 }
 
 // Option configures a cluster.
@@ -152,11 +166,10 @@ func NewCluster(obj crdt.Object, n int, opts ...Option) *Cluster {
 	if n < 1 {
 		panic("sim: cluster needs at least one node")
 	}
-	c := &Cluster{obj: obj, nextMID: 1}
+	c := &Cluster{obj: obj, nextMID: 1, net: transport.NewMem(n)}
 	for i := 0; i < n; i++ {
 		c.states = append(c.states, obj.Init())
 		c.applied = append(c.applied, map[model.MsgID]bool{})
-		c.inbox = append(c.inbox, map[model.MsgID]*message{})
 		c.dropped = append(c.dropped, map[model.MsgID]bool{})
 	}
 	c.down = make([]bool, n)
@@ -176,11 +189,11 @@ func (c *Cluster) Object() crdt.Object { return c.obj }
 func (c *Cluster) StateOf(t model.NodeID) crdt.State { return c.states[t] }
 
 // Now returns the virtual-clock tick latency windows are measured against.
-func (c *Cluster) Now() int { return c.now }
+func (c *Cluster) Now() int { return c.net.Now() }
 
 // Tick advances the virtual clock by one step, making messages whose latency
 // window has elapsed deliverable.
-func (c *Cluster) Tick() { c.now++ }
+func (c *Cluster) Tick() { c.net.Tick() }
 
 // FaultStats returns what the fault layer has done so far.
 func (c *Cluster) FaultStats() FaultStats { return c.stats }
@@ -236,35 +249,41 @@ func (c *Cluster) Invoke(t model.NodeID, op model.Op) (model.Value, model.MsgID,
 		// anyone's causal dependency set either — they could never be
 		// satisfied at a remote node.
 		c.applied[t][mid] = true
-		c.msglog = append(c.msglog, &message{mid: mid, from: t, op: op, eff: eff, deps: deps})
+		m := &message{mid: mid, from: t, op: op, eff: eff, deps: deps}
+		c.appendLog(m)
 		for dst := range c.states {
 			if model.NodeID(dst) == t {
 				continue
 			}
-			m := &message{mid: mid, from: t, op: op, eff: eff, deps: deps, copies: 1, readyAt: c.now, payload: wire}
-			if c.net != nil {
-				c.net.perturb(c, m)
+			q := &transport.Queued{
+				Frame:   transport.Frame{Kind: transport.KindEffector, MID: mid, From: t, Payload: wire},
+				Item:    m,
+				Copies:  1,
+				ReadyAt: c.net.Now(),
+			}
+			if c.faults != nil {
+				c.faults.perturb(c, q)
 			}
 			if wire != nil {
-				c.countPayload(t, model.NodeID(dst), len(m.payload), m.copies)
+				c.countPayload(t, model.NodeID(dst), len(q.Frame.Payload), q.Copies)
 			}
-			c.inbox[dst][mid] = m
+			c.net.Put(model.NodeID(dst), q)
 		}
 	}
 	return ret, mid, nil
 }
 
-// deliverable reports whether msg may be delivered to dst now, honouring the
-// crash state, the partition, the latency window, and causal delivery when
-// enabled.
-func (c *Cluster) deliverable(dst model.NodeID, msg *message) bool {
-	if c.down[dst] || !c.linked(msg.from, dst) || msg.readyAt > c.now {
+// deliverable reports whether q may be delivered to dst now, honouring the
+// crash state, the transport gating (partition and latency window), and
+// causal delivery when enabled.
+func (c *Cluster) deliverable(dst model.NodeID, q *transport.Queued) bool {
+	if c.down[dst] || !c.net.Ready(dst, q) {
 		return false
 	}
 	if !c.causal {
 		return true
 	}
-	for dep := range msg.deps {
+	for dep := range q.Item.(*message).deps {
 		if !c.applied[dst][dep] {
 			return false
 		}
@@ -275,14 +294,9 @@ func (c *Cluster) deliverable(dst model.NodeID, msg *message) bool {
 // Deliverable returns the request IDs currently deliverable to dst, sorted.
 func (c *Cluster) Deliverable(dst model.NodeID) []model.MsgID {
 	var out []model.MsgID
-	for mid, msg := range c.inbox[dst] {
-		if c.deliverable(dst, msg) {
+	for _, mid := range c.net.Mids(dst) {
+		if q, ok := c.net.Get(dst, mid); ok && c.deliverable(dst, q) {
 			out = append(out, mid)
-		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
 	return out
@@ -313,16 +327,17 @@ func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
 	if c.down[dst] {
 		return fmt.Errorf("sim: deliver %s to %s: %w", mid, dst, ErrNodeDown)
 	}
-	msg, ok := c.inbox[dst][mid]
+	q, ok := c.net.Get(dst, mid)
 	if !ok {
 		return c.missing("deliver", dst, mid)
 	}
-	if !c.linked(msg.from, dst) {
+	msg := q.Item.(*message)
+	if !c.net.Linked(msg.from, dst) {
 		return fmt.Errorf("sim: deliver %s to %s: %w", mid, dst, ErrPartitioned)
 	}
-	if msg.readyAt > c.now {
+	if q.ReadyAt > c.net.Now() {
 		return fmt.Errorf("sim: deliver %s to %s: %w (arrives at tick %d, now %d)",
-			mid, dst, ErrInTransit, msg.readyAt, c.now)
+			mid, dst, ErrInTransit, q.ReadyAt, c.net.Now())
 	}
 	if c.causal {
 		for dep := range msg.deps {
@@ -331,41 +346,38 @@ func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
 			}
 		}
 	}
-	// Consume one network copy. Messages are shared across Clones, so a
-	// partially consumed duplicate is replaced copy-on-write.
-	if msg.copies > 1 {
-		cp := *msg
-		cp.copies--
-		c.inbox[dst][mid] = &cp
-	} else {
-		delete(c.inbox[dst], mid)
-	}
+	// Consume one network copy (the transport replaces partially consumed
+	// duplicates copy-on-write, so Clones stay unaffected).
+	c.net.Take(dst, mid)
 	if c.applied[dst][mid] {
 		// At-most-once: a duplicated copy arrives after the effector was
 		// applied; suppress it without reapplying or recording an event.
-		// Duplicates are deduplicated by request ID at the transport layer,
+		// Duplicates are deduplicated by request ID at the delivery layer,
 		// before the payload is even parsed.
 		c.stats.DupSuppressed++
 		return nil
 	}
 	eff := msg.eff
-	if c.dec != nil && msg.payload != nil {
+	if c.dec != nil && q.Frame.Payload != nil {
 		var derr error
-		if eff, derr = c.decodeWire(msg.payload); derr != nil {
+		if eff, derr = c.decodeWire(q.Frame.Payload); derr != nil {
 			// The payload was corrupted in transit and the decoder rejected
 			// it. Discard every remaining queued copy (they carry the same
 			// corrupt bytes) and queue one clean retransmission, delayed
 			// like a loss so it outlasts any reorder window.
 			delay := 1
-			if c.net != nil {
-				delay = c.net.cfg.DelayMax + 1
+			if c.faults != nil {
+				delay = c.faults.cfg.DelayMax + 1
 			}
-			re := *msg
-			re.payload = codec.AppendFrame(nil, msg.eff.AppendBinary(nil))
-			re.copies = 1
-			re.readyAt = c.now + delay
-			c.inbox[dst][mid] = &re
-			c.countPayload(msg.from, dst, len(re.payload), 1)
+			clean := codec.AppendFrame(nil, msg.eff.AppendBinary(nil))
+			re := &transport.Queued{
+				Frame:   transport.Frame{Kind: transport.KindEffector, MID: mid, From: msg.from, Payload: clean},
+				Item:    msg,
+				Copies:  1,
+				ReadyAt: c.net.Now() + delay,
+			}
+			c.net.Put(dst, re)
+			c.countPayload(msg.from, dst, len(clean), 1)
 			c.stats.CorruptRejected++
 			return fmt.Errorf("sim: deliver %s to %s: %w: %v", mid, dst, ErrCorruptPayload, derr)
 		}
@@ -375,6 +387,7 @@ func (c *Cluster) Deliver(dst model.NodeID, mid model.MsgID) error {
 	c.tr = append(c.tr, trace.Event{
 		MID: mid, Node: dst, Origin: msg.from, Op: msg.op, Eff: eff, IsOrigin: false,
 	})
+	c.tickCheckpoint()
 	return nil
 }
 
@@ -399,33 +412,18 @@ func (c *Cluster) Drop(dst model.NodeID, mid model.MsgID) error {
 	if int(dst) < 0 || int(dst) >= len(c.states) {
 		return fmt.Errorf("sim: no such node %s", dst)
 	}
-	if _, ok := c.inbox[dst][mid]; !ok {
+	if !c.net.Remove(dst, mid) {
 		return c.missing("drop", dst, mid)
 	}
-	delete(c.inbox[dst], mid)
 	c.dropped[dst][mid] = true
 	return nil
 }
 
 // Pending returns the total number of undelivered message copies.
-func (c *Cluster) Pending() int {
-	n := 0
-	for _, box := range c.inbox {
-		for _, m := range box {
-			n += m.copies
-		}
-	}
-	return n
-}
+func (c *Cluster) Pending() int { return c.net.Pending() }
 
 // PendingTo returns the number of undelivered message copies addressed to dst.
-func (c *Cluster) PendingTo(dst model.NodeID) int {
-	n := 0
-	for _, m := range c.inbox[dst] {
-		n += m.copies
-	}
-	return n
-}
+func (c *Cluster) PendingTo(dst model.NodeID) int { return c.net.PendingTo(dst) }
 
 // DeliverRandom delivers one random deliverable message using rng. It
 // reports whether a delivery happened.
@@ -435,7 +433,7 @@ func (c *Cluster) DeliverRandom(rng *rand.Rand) bool {
 		mid model.MsgID
 	}
 	var slots []slot
-	for dst := range c.inbox {
+	for dst := 0; dst < c.N(); dst++ {
 		for _, mid := range c.Deliverable(model.NodeID(dst)) {
 			slots = append(slots, slot{model.NodeID(dst), mid})
 		}
@@ -458,21 +456,7 @@ func (c *Cluster) DeliverRandom(rng *rand.Rand) bool {
 // nextArrival returns the earliest future arrival tick among queued messages
 // that are not blocked by a partition or a crashed destination.
 func (c *Cluster) nextArrival() (int, bool) {
-	best, found := 0, false
-	for dst, box := range c.inbox {
-		if c.down[dst] {
-			continue
-		}
-		for _, m := range box {
-			if !c.linked(m.from, model.NodeID(dst)) {
-				continue
-			}
-			if m.readyAt > c.now && (!found || m.readyAt < best) {
-				best, found = m.readyAt, true
-			}
-		}
-	}
-	return best, found
+	return c.net.NextArrival(func(dst model.NodeID) bool { return c.down[dst] })
 }
 
 // DeliverAll drains every in-flight message copy (in causal mode, repeatedly
@@ -483,7 +467,7 @@ func (c *Cluster) nextArrival() (int, bool) {
 func (c *Cluster) DeliverAll() {
 	for c.Pending() > 0 {
 		progress := false
-		for dst := range c.inbox {
+		for dst := 0; dst < c.N(); dst++ {
 			for _, mid := range c.Deliverable(model.NodeID(dst)) {
 				if err := c.Deliver(model.NodeID(dst), mid); err == nil {
 					progress = true
@@ -493,8 +477,8 @@ func (c *Cluster) DeliverAll() {
 		if !progress {
 			// Copies still inside a latency window become deliverable once
 			// the clock reaches their arrival tick: jump there and retry.
-			if next, ok := c.nextArrival(); ok && next > c.now {
-				c.now = next
+			if next, ok := c.nextArrival(); ok && next > c.net.Now() {
+				c.net.AdvanceTo(next)
 				continue
 			}
 			if c.Partitioned() || c.anyDown() {

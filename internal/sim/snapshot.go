@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// This file holds the snapshot checkpoint layer on the cluster's durable
+// broadcast log. Without it, a fresh replacement replica resyncs by
+// replaying the whole log — the log grows without bound and the resync cost
+// grows with history. With WithSnapshots the cluster periodically
+// checkpoints the *stable frontier* — the set of broadcasts applied by every
+// node — into a canonically encoded state snapshot, truncates the log up to
+// that frontier, and resyncs fresh replicas from the decoded snapshot plus
+// the retained log suffix.
+//
+// Why the stable frontier is the only safe truncation point: a fresh resync
+// must append a delivery event (carrying the op and effector) for every
+// broadcast the recovering node had not yet applied, and a truncated log
+// entry can no longer supply one. Truncating only broadcasts applied by ALL
+// nodes guarantees truncated ⊆ applied_t for every node t at checkpoint
+// time — applied sets only grow, so at any later resync every broadcast that
+// still needs a new trace event is in the retained suffix. The snapshot
+// state itself is maintained as a shadow replica that applies exactly the
+// covered broadcasts in MsgID order — an order consistent with
+// happens-before, so it is a legal schedule and (by convergence) equals any
+// replica that applied the same set.
+
+// snapshot is the current checkpoint: the shadow state covering exactly the
+// covered broadcast set, plus its encoded wire form (a checksummed codec
+// frame around the canonical state encoding — the bytes a real system would
+// ship to a joining replica, and what resyncFresh decodes back).
+type snapshot struct {
+	state   crdt.State
+	covered map[model.MsgID]bool
+	wire    []byte
+}
+
+// WithSnapshots enables snapshot checkpoints: after every `every` appends to
+// the broadcast log the cluster checkpoints the stable frontier, truncates
+// the log up to it, and fresh recoveries resync from the decoded snapshot
+// plus the retained log. dec must be the algorithm's registered state
+// decoder (registry.Algorithm.DecodeState); it is exercised on every
+// snapshot resync, so an unregistered or wrong decoder fails loudly there.
+func WithSnapshots(every int, dec crdt.StateDecoder) Option {
+	if every < 1 {
+		panic("sim: snapshot interval must be at least 1")
+	}
+	if dec == nil {
+		panic("sim: snapshots need a state decoder")
+	}
+	return func(c *Cluster) {
+		c.snapEvery = every
+		c.decState = dec
+	}
+}
+
+// LogLen returns the number of entries currently retained in the broadcast
+// log (after any checkpoint truncation).
+func (c *Cluster) LogLen() int { return len(c.msglog) }
+
+// SnapshotCovered returns how many broadcasts the current snapshot
+// checkpoint covers (0 before the first checkpoint).
+func (c *Cluster) SnapshotCovered() int {
+	if c.snap == nil {
+		return 0
+	}
+	return len(c.snap.covered)
+}
+
+// appendLog records one broadcast in the durable log and counts toward the
+// checkpoint interval.
+func (c *Cluster) appendLog(m *message) {
+	c.msglog = append(c.msglog, m)
+	c.tickCheckpoint()
+}
+
+// tickCheckpoint counts one replication event (a log append or a remote
+// apply) and checkpoints when the configured interval elapsed. Remote
+// applies count because they are what advances the stable frontier: a log
+// that stops growing can still become fully stable.
+func (c *Cluster) tickCheckpoint() {
+	if c.snapEvery == 0 {
+		return
+	}
+	c.sinceCkpt++
+	if c.sinceCkpt >= c.snapEvery {
+		c.sinceCkpt = 0
+		c.checkpoint()
+	}
+}
+
+// checkpoint advances the snapshot to the current stable frontier and
+// truncates the log up to it. A frontier that has not moved since the last
+// checkpoint leaves everything unchanged (and uncounted).
+func (c *Cluster) checkpoint() {
+	// The stable frontier: broadcasts applied by every node. Intersecting
+	// the applied sets starting from the smallest keeps this cheap.
+	smallest := 0
+	for t := range c.applied {
+		if len(c.applied[t]) < len(c.applied[smallest]) {
+			smallest = t
+		}
+	}
+	var fresh []model.MsgID
+	for mid := range c.applied[smallest] {
+		if c.snap != nil && c.snap.covered[mid] {
+			continue
+		}
+		everywhere := true
+		for t := range c.applied {
+			if t != smallest && !c.applied[t][mid] {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			fresh = append(fresh, mid)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	if c.snap == nil {
+		c.snap = &snapshot{state: c.obj.Init(), covered: map[model.MsgID]bool{}}
+	}
+	// Apply the newly stable broadcasts to the shadow state in MsgID order
+	// (consistent with happens-before, hence a legal schedule). Every one of
+	// them is still in the retained log: only covered entries get truncated.
+	byMID := make(map[model.MsgID]*message, len(fresh))
+	for _, m := range c.msglog {
+		byMID[m.mid] = m
+	}
+	for _, mid := range fresh {
+		m, ok := byMID[mid]
+		if !ok {
+			panic(fmt.Sprintf("sim: stable broadcast %s missing from the retained log", mid))
+		}
+		c.snap.state = m.eff.Apply(c.snap.state)
+		c.snap.covered[mid] = true
+	}
+	c.snap.wire = codec.AppendFrame(nil, c.snap.state.AppendBinary(nil))
+	retained := c.msglog[:0]
+	truncated := 0
+	for _, m := range c.msglog {
+		if c.snap.covered[m.mid] {
+			truncated++
+			continue
+		}
+		retained = append(retained, m)
+	}
+	c.msglog = retained
+	c.stats.Checkpoints++
+	c.stats.LogTruncated += truncated
+	c.stats.SnapshotBytes += len(c.snap.wire)
+}
+
+// RecoveryNote records how one fresh-replica resync was served; divergence
+// reports and crdt-sim render these so a failing chaos run shows whether
+// snapshot recovery was involved.
+type RecoveryNote struct {
+	Node model.NodeID
+	Tick int
+	// FromSnapshot is true when the replica state was restored by decoding
+	// the checkpoint snapshot (false: full log replay).
+	FromSnapshot bool
+	// SnapshotBytes is the size of the decoded snapshot frame (0 without one).
+	SnapshotBytes int
+	// Replayed counts retained log entries applied on top of the snapshot
+	// (or, without one, log entries replayed).
+	Replayed int
+	// NewEvents counts the delivery events appended for broadcasts the node
+	// had not applied before the crash.
+	NewEvents int
+}
+
+// String renders the note compactly.
+func (n RecoveryNote) String() string {
+	src := "log replay"
+	if n.FromSnapshot {
+		src = fmt.Sprintf("snapshot (%dB)", n.SnapshotBytes)
+	}
+	return fmt.Sprintf("node %s resynced at tick %d from %s: %d entries replayed, %d new deliveries",
+		n.Node, n.Tick, src, n.Replayed, n.NewEvents)
+}
+
+// RecoveryNotes returns the fresh-replica resyncs performed so far.
+func (c *Cluster) RecoveryNotes() []RecoveryNote {
+	return append([]RecoveryNote(nil), c.recov...)
+}
+
+// resyncFresh replaces node t's replica: the in-flight queue is discarded
+// (everything in it is either covered by the snapshot or retained in the
+// log) and the state is rebuilt from the durable history. With a snapshot
+// checkpoint the state is *decoded from the snapshot's wire bytes* — the
+// registered StateDecoder runs on every resync — and every retained log
+// entry is applied on top in MsgID order; without one the whole log replays
+// onto the node's durable state, the pre-snapshot behaviour. Either way a
+// delivery event is appended for every broadcast the node had not applied,
+// so the trace stays well-formed and per-node replayable.
+func (c *Cluster) resyncFresh(t model.NodeID) error {
+	c.stats.Resyncs++
+	c.net.Clear(t)
+	note := RecoveryNote{Node: t, Tick: c.Now()}
+	if c.snap != nil {
+		inner, rest, err := codec.DecodeFrame(c.snap.wire)
+		if err == nil && len(rest) != 0 {
+			err = fmt.Errorf("%w: %d trailing snapshot bytes", codec.ErrCorrupt, len(rest))
+		}
+		var st crdt.State
+		if err == nil {
+			st, err = c.decState(inner)
+		}
+		if err != nil {
+			return fmt.Errorf("sim: resync %s: snapshot does not decode with the registered state decoder: %v", t, err)
+		}
+		// The snapshot covers exactly snap.covered, all of which node t had
+		// applied before the crash (covered ⊆ every applied set — the
+		// truncation invariant). Replace the state and re-apply the whole
+		// retained suffix: entries t had applied are part of neither the
+		// snapshot nor the replaced state, but their trace events already
+		// exist, so only previously unapplied ones get new events.
+		c.states[t] = st
+		note.FromSnapshot = true
+		note.SnapshotBytes = len(c.snap.wire)
+		c.stats.SnapshotResyncs++
+		for _, m := range c.msglog {
+			c.states[t] = m.eff.Apply(c.states[t])
+			note.Replayed++
+			if c.applied[t][m.mid] {
+				continue
+			}
+			c.applied[t][m.mid] = true
+			note.NewEvents++
+			c.tr = append(c.tr, trace.Event{
+				MID: m.mid, Node: t, Origin: m.from, Op: m.op, Eff: m.eff, IsOrigin: false,
+			})
+		}
+		c.recov = append(c.recov, note)
+		return nil
+	}
+	for _, m := range c.msglog {
+		if c.applied[t][m.mid] {
+			continue // already applied (or its own origin)
+		}
+		c.states[t] = m.eff.Apply(c.states[t])
+		c.applied[t][m.mid] = true
+		note.Replayed++
+		note.NewEvents++
+		c.tr = append(c.tr, trace.Event{
+			MID: m.mid, Node: t, Origin: m.from, Op: m.op, Eff: m.eff, IsOrigin: false,
+		})
+	}
+	c.recov = append(c.recov, note)
+	return nil
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crdt"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// ckey renders a cluster's canonical binary encoding as a map key (the
+// replacement for the removed debug Key string).
+func ckey(c *Cluster) string { return string(c.AppendBinary(nil)) }
+
+// runResync drives one scripted crash/resync workload on c: the first half
+// of the script is invoked and partially delivered, node `crash` goes down,
+// the second half runs on the surviving nodes, everything drains, and the
+// crashed node recovers as a fresh replica. Deliveries are scheduled
+// deterministically from seed so two clusters given the same inputs execute
+// identical histories.
+func runResync(t *testing.T, c *Cluster, script Script, crash model.NodeID, seed int64) {
+	t.Helper()
+	sched := rand.New(rand.NewSource(seed))
+	half := len(script) / 2
+	invoke := func(so ScriptOp) {
+		// Precondition rejections are expected: scripts are generated against
+		// drained validation clusters, and this run delivers only partially.
+		if _, _, err := c.Invoke(so.Node, so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+			t.Fatalf("invoke %v at %s: %v", so.Op, so.Node, err)
+		}
+	}
+	for _, so := range script[:half] {
+		invoke(so)
+		if sched.Intn(2) == 0 {
+			c.DeliverRandom(sched)
+		}
+	}
+	// Drain before the crash so every pre-crash broadcast reaches every node:
+	// the stable frontier then provably covers the first half, giving the
+	// checkpoints something to truncate.
+	c.DeliverAll()
+	if err := c.Crash(crash); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	for _, so := range script[half:] {
+		if so.Node == crash {
+			continue
+		}
+		invoke(so)
+		if sched.Intn(2) == 0 {
+			c.DeliverRandom(sched)
+		}
+	}
+	c.DeliverAll()
+	if err := c.Recover(crash, true); err != nil {
+		t.Fatalf("fresh recover: %v", err)
+	}
+	c.DeliverAll()
+}
+
+// TestSnapshotRoundTripAllAlgorithms is the snapshot conformance loop: for
+// every registered algorithm (including extensions), a cluster with
+// checkpoints enabled — snapshot state decoded through the algorithm's
+// registered StateDecoder, log truncated to the stable frontier — must
+// recover a fresh replica to the byte-identical canonical state the
+// pre-snapshot full-log-replay recovery produces, and both must converge.
+func TestSnapshotRoundTripAllAlgorithms(t *testing.T) {
+	algs := append(registry.All(), registry.Extensions()...)
+	if len(algs) < 10 {
+		t.Fatalf("registry lists %d algorithms, want at least 10", len(algs))
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			const nodes, ops, seed = 3, 14, 11
+			script := GenScript(alg.New(), alg.Abs, GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+			mk := func(snapshots bool) *Cluster {
+				opts := []Option{WithWireCodec(alg.DecodeEffector)}
+				if alg.NeedsCausal {
+					opts = append(opts, WithCausalDelivery())
+				}
+				if snapshots {
+					opts = append(opts, WithSnapshots(3, alg.DecodeState))
+				}
+				return NewCluster(alg.New(), nodes, opts...)
+			}
+			snap, replay := mk(true), mk(false)
+			runResync(t, snap, script, 2, seed)
+			runResync(t, replay, script, 2, seed)
+
+			if _, ok := snap.Converged(alg.Abs); !ok {
+				t.Fatalf("snapshot cluster diverged")
+			}
+			if _, ok := replay.Converged(alg.Abs); !ok {
+				t.Fatalf("log-replay cluster diverged")
+			}
+			for n := 0; n < nodes; n++ {
+				a := snap.StateOf(model.NodeID(n)).AppendBinary(nil)
+				b := replay.StateOf(model.NodeID(n)).AppendBinary(nil)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("node %d: snapshot-recovered state differs from log-replay recovery\n snap:   %q\n replay: %q", n, a, b)
+				}
+			}
+			ss, rs := snap.FaultStats(), replay.FaultStats()
+			if rs.SnapshotResyncs != 0 || rs.Checkpoints != 0 {
+				t.Fatalf("log-replay cluster took snapshots: %+v", rs)
+			}
+			if ss.Checkpoints == 0 {
+				t.Fatalf("snapshot cluster never checkpointed: %+v", ss)
+			}
+			if ss.SnapshotResyncs != 1 {
+				t.Fatalf("snapshot cluster resyncs = %d, want 1 via snapshot", ss.SnapshotResyncs)
+			}
+			if ss.LogTruncated == 0 {
+				t.Fatalf("checkpoints never truncated the log: %+v", ss)
+			}
+			if snap.LogLen()+ss.LogTruncated != replay.LogLen() {
+				t.Fatalf("retained %d + truncated %d != full log %d",
+					snap.LogLen(), ss.LogTruncated, replay.LogLen())
+			}
+			if snap.SnapshotCovered() != ss.LogTruncated {
+				t.Fatalf("snapshot covers %d broadcasts but %d were truncated",
+					snap.SnapshotCovered(), ss.LogTruncated)
+			}
+			notes := snap.RecoveryNotes()
+			if len(notes) != 1 || !notes[0].FromSnapshot || notes[0].SnapshotBytes == 0 {
+				t.Fatalf("recovery notes = %+v, want one snapshot resync", notes)
+			}
+		})
+	}
+}
+
+// TestSnapshotTraceStaysReplayable checks the truncation invariant end to
+// end: after checkpoints truncated the log and a fresh replica resynced from
+// the snapshot, the recorded trace must still replay per node to the final
+// states — i.e. every delivery event the resync appended found its op and
+// effector in the retained log suffix.
+func TestSnapshotTraceStaysReplayable(t *testing.T) {
+	alg, ok := registry.ByName("rga")
+	if !ok {
+		t.Fatal("rga not registered")
+	}
+	const nodes, ops, seed = 3, 16, 5
+	script := GenScript(alg.New(), alg.Abs, GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+	c := NewCluster(alg.New(), nodes, WithWireCodec(alg.DecodeEffector), WithSnapshots(2, alg.DecodeState))
+	runResync(t, c, script, 1, seed)
+	tr := c.Trace()
+	seen := map[model.MsgID]map[model.NodeID]bool{}
+	for _, ev := range tr {
+		if ev.MID == 0 {
+			continue
+		}
+		if seen[ev.MID] == nil {
+			seen[ev.MID] = map[model.NodeID]bool{}
+		}
+		if seen[ev.MID][ev.Node] {
+			t.Fatalf("trace delivers %s to %s twice", ev.MID, ev.Node)
+		}
+		seen[ev.MID][ev.Node] = true
+	}
+	for n := 0; n < nodes; n++ {
+		got := trace.ReplayLocal(alg.New().Init(), tr.Restrict(model.NodeID(n)))
+		want := c.StateOf(model.NodeID(n)).AppendBinary(nil)
+		if !bytes.Equal(got.AppendBinary(nil), want) {
+			t.Fatalf("node %d: per-node trace replay diverges from the live state", n)
+		}
+	}
+}
+
+// TestSnapshotInvalidConfig covers the option's guard rails.
+func TestSnapshotInvalidConfig(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	for name, fn := range map[string]func(){
+		"zero interval": func() { WithSnapshots(0, alg.DecodeState) },
+		"nil decoder":   func() { WithSnapshots(4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: WithSnapshots did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if _, err := (Chaos{
+		Object: alg.New(), Abs: alg.Abs,
+		Script:        Script{{Node: 0, Op: model.Op{Name: "inc"}}},
+		SnapshotEvery: 2, // no DecodeState
+	}).Run(); err == nil {
+		t.Fatalf("chaos with SnapshotEvery but no DecodeState must fail")
+	}
+}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/model"
+)
+
+// Inner frame layout (before the codec.AppendFrame checksum envelope):
+//
+//	kind · uvarint mid · uvarint from · uvarint ndeps · ndeps×uvarint dep ·
+//	bytes payload
+//
+// Deps are emitted sorted so equal frames encode byte-equal (the canonical
+// form the rest of the codec layer guarantees).
+
+// Append appends the frame's canonical inner encoding to b.
+func (f Frame) Append(b []byte) []byte {
+	b = append(b, f.Kind)
+	b = codec.AppendUvarint(b, uint64(f.MID))
+	b = codec.AppendUvarint(b, uint64(f.From))
+	deps := append([]model.MsgID(nil), f.Deps...)
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	b = codec.AppendUvarint(b, uint64(len(deps)))
+	for _, d := range deps {
+		b = codec.AppendUvarint(b, uint64(d))
+	}
+	return codec.AppendBytes(b, f.Payload)
+}
+
+// Decode parses one inner frame encoding, requiring every byte to be
+// consumed. Malformed input fails with an error wrapping codec.ErrCorrupt.
+func Decode(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) == 0 {
+		return f, fmt.Errorf("%w: empty frame", codec.ErrCorrupt)
+	}
+	f.Kind = b[0]
+	if f.Kind != KindEffector && f.Kind != KindSnapshot && f.Kind != KindDone {
+		return f, fmt.Errorf("%w: unknown frame kind %d", codec.ErrCorrupt, f.Kind)
+	}
+	rest := b[1:]
+	mid, rest, err := codec.DecodeUvarint(rest)
+	if err != nil {
+		return f, err
+	}
+	f.MID = model.MsgID(mid)
+	from, rest, err := codec.DecodeUvarint(rest)
+	if err != nil {
+		return f, err
+	}
+	f.From = model.NodeID(from)
+	ndeps, rest, err := codec.DecodeUvarint(rest)
+	if err != nil {
+		return f, err
+	}
+	for i := uint64(0); i < ndeps; i++ {
+		var d uint64
+		if d, rest, err = codec.DecodeUvarint(rest); err != nil {
+			return f, err
+		}
+		if i > 0 && model.MsgID(d) <= f.Deps[len(f.Deps)-1] {
+			return f, fmt.Errorf("%w: frame deps not strictly sorted", codec.ErrCorrupt)
+		}
+		f.Deps = append(f.Deps, model.MsgID(d))
+	}
+	payload, rest, err := codec.DecodeBytes(rest)
+	if err != nil {
+		return f, err
+	}
+	if len(payload) > 0 {
+		f.Payload = payload
+	}
+	if err := codec.Done(rest); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// EncodeWire renders the frame in its on-the-wire form: the inner encoding
+// wrapped in the checksummed codec frame envelope, so any bit flipped in
+// transit fails DecodeWire instead of reaching a replica.
+func EncodeWire(f Frame) []byte {
+	return codec.AppendFrame(nil, f.Append(nil))
+}
+
+// DecodeWire inverts EncodeWire, verifying the checksum envelope and
+// requiring the input to hold exactly one frame.
+func DecodeWire(b []byte) (Frame, error) {
+	inner, rest, err := codec.DecodeFrame(b)
+	if err != nil {
+		return Frame{}, err
+	}
+	if err := codec.Done(rest); err != nil {
+		return Frame{}, err
+	}
+	return Decode(inner)
+}

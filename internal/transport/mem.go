@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Mem is the deterministic in-memory network: per-destination queues of
+// frame copies measured against a virtual clock, with partition gating.
+// It is the substrate sim.Cluster schedules deliveries on — every mutation
+// is explicit and ordered, so chaos runs replay byte-for-byte — and it also
+// serves Endpoint views implementing Transport, so the replica layer built
+// for real sockets can be driven deterministically in tests.
+//
+// Mem itself is policy-free: it does not decide *when* a queued copy is
+// consumed (the scheduler does), it only enforces *whether* one may move —
+// the link must not be severed by a partition and the copy's arrival tick
+// must have passed. Fault perturbation (loss, duplication, reorder,
+// corruption) happens above, by mutating a Queued before Put.
+type Mem struct {
+	n   int
+	now int
+	// inbox holds the undelivered copies per destination. Queued values are
+	// shared across Clones; a partially consumed duplicate is replaced
+	// copy-on-write, so the sharing stays safe.
+	inbox []map[model.MsgID]*Queued
+	// partition, when non-nil, assigns each node to a link group; frames
+	// only flow within a group.
+	partition []int
+}
+
+// Queued is one in-flight frame addressed to a single destination, together
+// with its scheduling state: how many network copies remain (>1 after a
+// duplication fault), the earliest virtual-clock tick a copy may move, and
+// an opaque upper-layer value riding along (the simulator attaches the
+// decoded effector and its dependency set so clean clusters can skip the
+// wire codec).
+type Queued struct {
+	Frame   Frame
+	Item    any
+	Copies  int
+	ReadyAt int
+}
+
+// NewMem creates the network for n nodes (IDs 0..n-1).
+func NewMem(n int) *Mem {
+	if n < 1 {
+		panic("transport: network needs at least one node")
+	}
+	m := &Mem{n: n}
+	for i := 0; i < n; i++ {
+		m.inbox = append(m.inbox, map[model.MsgID]*Queued{})
+	}
+	return m
+}
+
+// N returns the number of nodes.
+func (m *Mem) N() int { return m.n }
+
+// Now returns the virtual-clock tick arrival windows are measured against.
+func (m *Mem) Now() int { return m.now }
+
+// Tick advances the virtual clock by one step.
+func (m *Mem) Tick() { m.now++ }
+
+// AdvanceTo jumps the virtual clock forward to tick t (never backward).
+func (m *Mem) AdvanceTo(t int) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// Put queues q for dst, replacing any copy set already queued under the same
+// MsgID (the corruption path uses this to swap a mangled copy set for one
+// clean retransmission).
+func (m *Mem) Put(dst model.NodeID, q *Queued) {
+	m.inbox[dst][q.Frame.MID] = q
+}
+
+// Get returns the queued copy set for mid at dst without consuming it.
+func (m *Mem) Get(dst model.NodeID, mid model.MsgID) (*Queued, bool) {
+	q, ok := m.inbox[dst][mid]
+	return q, ok
+}
+
+// Take consumes one network copy of mid at dst. Queued values are shared
+// across Clones, so a partially consumed duplicate is replaced copy-on-write;
+// the last copy removes the entry. It reports whether the mid was queued.
+func (m *Mem) Take(dst model.NodeID, mid model.MsgID) (*Queued, bool) {
+	q, ok := m.inbox[dst][mid]
+	if !ok {
+		return nil, false
+	}
+	if q.Copies > 1 {
+		cp := *q
+		cp.Copies--
+		m.inbox[dst][mid] = &cp
+	} else {
+		delete(m.inbox[dst], mid)
+	}
+	return q, true
+}
+
+// Clear discards every queued copy addressed to dst (a replaced replica's
+// inbox: the fresh node resyncs from the durable log instead).
+func (m *Mem) Clear(dst model.NodeID) {
+	m.inbox[dst] = map[model.MsgID]*Queued{}
+}
+
+// Remove discards every remaining queued copy of mid at dst.
+func (m *Mem) Remove(dst model.NodeID, mid model.MsgID) bool {
+	if _, ok := m.inbox[dst][mid]; !ok {
+		return false
+	}
+	delete(m.inbox[dst], mid)
+	return true
+}
+
+// Mids returns the MsgIDs queued for dst, sorted.
+func (m *Mem) Mids(dst model.NodeID) []model.MsgID {
+	out := make([]model.MsgID, 0, len(m.inbox[dst]))
+	for mid := range m.inbox[dst] {
+		out = append(out, mid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ready reports whether a copy of mid may move to dst now: the link from its
+// origin is not severed and its arrival tick has passed. Crash state and
+// causal gating are delivery-layer policy and live above.
+func (m *Mem) Ready(dst model.NodeID, q *Queued) bool {
+	return m.Linked(q.Frame.From, dst) && q.ReadyAt <= m.now
+}
+
+// Pending returns the total number of undelivered frame copies.
+func (m *Mem) Pending() int {
+	n := 0
+	for _, box := range m.inbox {
+		for _, q := range box {
+			n += q.Copies
+		}
+	}
+	return n
+}
+
+// PendingTo returns the number of undelivered frame copies addressed to dst.
+func (m *Mem) PendingTo(dst model.NodeID) int {
+	n := 0
+	for _, q := range m.inbox[dst] {
+		n += q.Copies
+	}
+	return n
+}
+
+// NextArrival returns the earliest future arrival tick among queued copies
+// on live links, skipping destinations for which skip reports true (the
+// simulator skips crashed nodes).
+func (m *Mem) NextArrival(skip func(dst model.NodeID) bool) (int, bool) {
+	best, found := 0, false
+	for dst, box := range m.inbox {
+		if skip != nil && skip(model.NodeID(dst)) {
+			continue
+		}
+		for _, q := range box {
+			if !m.Linked(q.Frame.From, model.NodeID(dst)) {
+				continue
+			}
+			if q.ReadyAt > m.now && (!found || q.ReadyAt < best) {
+				best, found = q.ReadyAt, true
+			}
+		}
+	}
+	return best, found
+}
+
+// SetPartition installs a link partition: side[i] is node i's group, and
+// frames only flow between nodes in the same group. The caller validates the
+// grouping; Heal removes it.
+func (m *Mem) SetPartition(side []int) {
+	if len(side) != m.n {
+		panic(fmt.Sprintf("transport: partition over %d nodes on a %d-node network", len(side), m.n))
+	}
+	m.partition = side
+}
+
+// Heal removes the partition.
+func (m *Mem) Heal() { m.partition = nil }
+
+// Partitioned reports whether a partition is in effect.
+func (m *Mem) Partitioned() bool { return m.partition != nil }
+
+// Linked reports whether frames may currently flow from a to b.
+func (m *Mem) Linked(a, b model.NodeID) bool {
+	if m.partition == nil {
+		return true
+	}
+	return m.partition[a] == m.partition[b]
+}
+
+// InFlightBytesAcross sums the payload bytes of queued copies whose link is
+// currently severed by the partition — the volume building up across the cut
+// that byte-budgeted partition windows measure. Zero when no partition is in
+// effect or the upper layer ships no bytes.
+func (m *Mem) InFlightBytesAcross() int {
+	if m.partition == nil {
+		return 0
+	}
+	total := 0
+	for dst, box := range m.inbox {
+		for _, q := range box {
+			if !m.Linked(q.Frame.From, model.NodeID(dst)) {
+				total += len(q.Frame.Payload) * q.Copies
+			}
+		}
+	}
+	return total
+}
+
+// Clone deep-copies the network so exhaustive explorers can branch. Queued
+// values are shared (Take replaces partially consumed duplicates
+// copy-on-write, keeping the sharing safe).
+func (m *Mem) Clone() *Mem {
+	cp := &Mem{n: m.n, now: m.now}
+	cp.partition = append([]int(nil), m.partition...)
+	for _, box := range m.inbox {
+		nb := make(map[model.MsgID]*Queued, len(box))
+		for k, v := range box {
+			nb[k] = v
+		}
+		cp.inbox = append(cp.inbox, nb)
+	}
+	return cp
+}
+
+// Endpoint returns node id's Transport view of the network: Broadcast queues
+// one clean copy per peer at the current tick, and Recv consumes the ready
+// frame with the smallest (arrival tick, MsgID) — a deterministic in-order
+// schedule, so the replica layer built for sockets can be unit-tested
+// reproducibly. The view shares the network's clock and queues; a waiting
+// Recv advances the virtual clock to the next arrival instead of blocking.
+func (m *Mem) Endpoint(id model.NodeID) Transport {
+	if int(id) < 0 || int(id) >= m.n {
+		panic(fmt.Sprintf("transport: no such node %s", id))
+	}
+	return &memEndpoint{m: m, self: id}
+}
+
+type memEndpoint struct {
+	m    *Mem
+	self model.NodeID
+}
+
+func (e *memEndpoint) Self() model.NodeID { return e.self }
+func (e *memEndpoint) N() int             { return e.m.n }
+
+func (e *memEndpoint) Broadcast(f Frame) error {
+	for dst := 0; dst < e.m.n; dst++ {
+		if model.NodeID(dst) == e.self {
+			continue
+		}
+		e.m.Put(model.NodeID(dst), &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
+	}
+	return nil
+}
+
+func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
+	for {
+		best := model.MsgID(-1)
+		bestAt := 0
+		for mid, q := range e.m.inbox[e.self] {
+			if !e.m.Ready(e.self, q) {
+				continue
+			}
+			if best < 0 || q.ReadyAt < bestAt || (q.ReadyAt == bestAt && mid < best) {
+				best, bestAt = mid, q.ReadyAt
+			}
+		}
+		if best >= 0 {
+			q, _ := e.m.Take(e.self, best)
+			return q.Frame, true, nil
+		}
+		if !wait {
+			return Frame{}, false, nil
+		}
+		// Nothing ready: advance the virtual clock to the next arrival, or
+		// report quiescence when the queue is empty for good.
+		next, ok := e.m.NextArrival(func(dst model.NodeID) bool { return dst != e.self })
+		if !ok {
+			return Frame{}, false, nil
+		}
+		e.m.AdvanceTo(next)
+	}
+}
+
+func (e *memEndpoint) Close() error { return nil }

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/crdt"
+	"repro/internal/model"
+)
+
+// Peer is one replica of an op-based CRDT over a Transport: the replica and
+// delivery/dedup layers of the execution model, transport-agnostic. It runs
+// Prepare locally, applies the effector atomically at the origin, broadcasts
+// it as a canonical effector frame, and applies received frames at most once
+// each, holding back frames whose causal dependencies have not arrived when
+// the algorithm requires causal delivery (Sec 9). The same Peer converges
+// over Mem in a deterministic unit test and over a unix or TCP socket
+// between OS processes.
+//
+// Request IDs are Lamport-style: mid = seq·N + self + 1 with seq bumped past
+// every received mid's sequence number, so mids are globally unique and the
+// mid order is consistent with happens-before — the same invariant the
+// simulator's centrally allocated mids provide.
+type Peer struct {
+	t      Transport
+	obj    crdt.Object
+	dec    crdt.EffectorDecoder
+	causal bool
+
+	state   crdt.State
+	applied map[model.MsgID]bool
+	// held buffers effector frames whose dependencies are not yet applied
+	// (causal delivery only).
+	held map[model.MsgID]Frame
+	seq  uint64
+
+	issued int // effectful broadcasts by this peer
+	// done maps peers that announced completion to their effectful counts.
+	done    map[model.NodeID]int
+	remote  int // effector frames applied from other peers
+	skipped int // operations rejected by their assume precondition
+}
+
+// NewPeer creates the replica layer for obj over t. dec must be the
+// algorithm's registered effector decoder; causal enables the causal
+// hold-back the X-wins algorithms require.
+func NewPeer(obj crdt.Object, dec crdt.EffectorDecoder, t Transport, causal bool) *Peer {
+	return &Peer{
+		t: t, obj: obj, dec: dec, causal: causal,
+		state:   obj.Init(),
+		applied: map[model.MsgID]bool{},
+		held:    map[model.MsgID]Frame{},
+		done:    map[model.NodeID]int{},
+	}
+}
+
+// State returns the current replica state.
+func (p *Peer) State() crdt.State { return p.state }
+
+// CanonicalState returns the replica state's canonical binary encoding —
+// the byte-identical form converged replicas agree on.
+func (p *Peer) CanonicalState() []byte { return p.state.AppendBinary(nil) }
+
+// Issued returns the number of effectful operations this peer broadcast.
+func (p *Peer) Issued() int { return p.issued }
+
+// Skipped returns the number of operations rejected by their precondition.
+func (p *Peer) Skipped() int { return p.skipped }
+
+// Applied returns the number of remote effector frames applied.
+func (p *Peer) Applied() int { return p.remote }
+
+// nextMID allocates the next Lamport request ID.
+func (p *Peer) nextMID() model.MsgID {
+	mid := model.MsgID(int(p.seq)*p.t.N() + int(p.t.Self()) + 1)
+	p.seq++
+	return mid
+}
+
+// observe bumps the Lamport sequence past a received mid.
+func (p *Peer) observe(mid model.MsgID) {
+	if s := uint64(int(mid)-1) / uint64(p.t.N()); s >= p.seq {
+		p.seq = s + 1
+	}
+}
+
+// Invoke runs op's two-phase execution at this replica: Prepare over the
+// local state, atomic local application, and broadcast of the effector frame
+// (identity effectors are not broadcast). It returns crdt.ErrAssume
+// unchanged when the precondition fails, leaving the replica untouched.
+func (p *Peer) Invoke(op model.Op) (model.Value, error) {
+	mid := p.nextMID()
+	ret, eff, err := p.obj.Prepare(op, p.state, p.t.Self(), mid)
+	if err != nil {
+		if errors.Is(err, crdt.ErrAssume) {
+			p.skipped++
+		}
+		return model.Nil(), err
+	}
+	if crdt.IsIdentity(eff) {
+		return ret, nil
+	}
+	payload := eff.AppendBinary(nil)
+	// Sender-side validation, as the simulator performs: an encoding the
+	// registered decoder cannot parse is a codec-registration bug — fail
+	// deterministically here instead of poisoning every peer.
+	if _, derr := p.dec(payload); derr != nil {
+		return model.Nil(), fmt.Errorf("transport: effector %s does not decode with the registered codec: %v", eff, derr)
+	}
+	f := Frame{Kind: KindEffector, MID: mid, From: p.t.Self(), Payload: payload}
+	if p.causal {
+		f.Deps = p.visible()
+	}
+	p.state = eff.Apply(p.state)
+	p.applied[mid] = true
+	p.issued++
+	return ret, p.t.Broadcast(f)
+}
+
+// visible returns the applied set as a sorted dependency list.
+func (p *Peer) visible() []model.MsgID {
+	deps := make([]model.MsgID, 0, len(p.applied))
+	for mid := range p.applied {
+		deps = append(deps, mid)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	return deps
+}
+
+// Done announces that this peer has finished issuing operations, carrying
+// its effectful broadcast count so peers can detect quiescence. The frame
+// gets its own Lamport request ID — frame IDs must be globally unique
+// whatever the kind, and the count travels in the payload.
+func (p *Peer) Done() error {
+	return p.t.Broadcast(Frame{
+		Kind: KindDone, MID: p.nextMID(), From: p.t.Self(),
+		Payload: codec.AppendUvarint(nil, uint64(p.issued)),
+	})
+}
+
+// Handle processes one received frame: dedup by request ID before the
+// payload is even parsed, causal hold-back when enabled, decode through the
+// registered decoder (corruption never reaches Apply — the wire envelope
+// already rejected bit flips), then application and a retry of any held
+// frames the new delivery unblocked.
+func (p *Peer) Handle(f Frame) error {
+	switch f.Kind {
+	case KindDone:
+		p.observe(f.MID)
+		n, rest, err := codec.DecodeUvarint(f.Payload)
+		if err == nil {
+			err = codec.Done(rest)
+		}
+		if err != nil {
+			return fmt.Errorf("transport: done frame from %s: %w", f.From, err)
+		}
+		p.done[f.From] = int(n)
+		return nil
+	case KindEffector:
+		p.observe(f.MID)
+		if p.applied[f.MID] {
+			return nil // at-most-once: duplicate suppressed
+		}
+		if p.causal && !p.depsMet(f) {
+			p.held[f.MID] = f
+			return nil
+		}
+		if err := p.apply(f); err != nil {
+			return err
+		}
+		return p.retryHeld()
+	case KindSnapshot:
+		return fmt.Errorf("transport: unsolicited snapshot frame from %s", f.From)
+	default:
+		return fmt.Errorf("transport: unknown frame kind %d from %s", f.Kind, f.From)
+	}
+}
+
+// depsMet reports whether every causal dependency of f has been applied.
+func (p *Peer) depsMet(f Frame) bool {
+	for _, d := range f.Deps {
+		if !p.applied[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// apply decodes and applies one effector frame.
+func (p *Peer) apply(f Frame) error {
+	eff, err := p.dec(f.Payload)
+	if err != nil {
+		return fmt.Errorf("transport: frame %s from %s: %w", f.MID, f.From, err)
+	}
+	p.state = eff.Apply(p.state)
+	p.applied[f.MID] = true
+	p.remote++
+	return nil
+}
+
+// retryHeld applies held frames whose dependencies became satisfied,
+// repeating until a fixpoint (one delivery can unblock a chain). Frames are
+// retried in mid order, which is consistent with happens-before.
+func (p *Peer) retryHeld() error {
+	for {
+		progress := false
+		mids := make([]model.MsgID, 0, len(p.held))
+		for mid := range p.held {
+			mids = append(mids, mid)
+		}
+		sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+		for _, mid := range mids {
+			f := p.held[mid]
+			if !p.depsMet(f) {
+				continue
+			}
+			delete(p.held, mid)
+			if err := p.apply(f); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// Step receives and handles one frame. It reports whether a frame was
+// processed; with wait=true it blocks until one arrives or the transport's
+// receive deadline passes.
+func (p *Peer) Step(wait bool) (bool, error) {
+	f, ok, err := p.t.Recv(wait)
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, p.Handle(f)
+}
+
+// Quiesced reports whether the object is stable from this peer's view:
+// every peer announced completion and every announced effectful broadcast
+// has been applied, with nothing held back.
+func (p *Peer) Quiesced() bool {
+	if len(p.done) != p.t.N()-1 {
+		return false
+	}
+	want := 0
+	for _, n := range p.done {
+		want += n
+	}
+	return p.remote == want && len(p.held) == 0
+}
+
+// RunToQuiescence pumps the transport until Quiesced or the deadline.
+func (p *Peer) RunToQuiescence(deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for !p.Quiesced() {
+		if time.Now().After(limit) {
+			return fmt.Errorf("transport: %w: not quiescent after %s (done %d/%d peers, applied %d, held %d)",
+				ErrTimeout, deadline, len(p.done), p.t.N()-1, p.remote, len(p.held))
+		}
+		ok, err := p.Step(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// A blocking Recv that reports no frame without an error means
+			// the transport is drained for good (the deterministic Mem
+			// endpoint at quiescence) — waiting longer cannot help.
+			return fmt.Errorf("transport: network drained but peer not quiescent (done %d/%d peers, applied %d, held %d)",
+				len(p.done), p.t.N()-1, p.remote, len(p.held))
+		}
+	}
+	return nil
+}

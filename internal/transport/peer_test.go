@@ -1,0 +1,193 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/transport"
+)
+
+// runPeersOverMem replicates one generated script across n Peer replicas on
+// a shared deterministic Mem: each peer invokes its own node's operations
+// (interleaved with receive steps so visibility varies), announces Done, and
+// pumps to quiescence. Returns the peers for assertions.
+func runPeersOverMem(t *testing.T, alg registry.Algorithm, n, ops int, seed int64) []*transport.Peer {
+	t.Helper()
+	m := transport.NewMem(n)
+	peers := make([]*transport.Peer, n)
+	for i := range peers {
+		peers[i] = transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(model.NodeID(i)), alg.NeedsCausal)
+	}
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), n, ops, seed, alg.NeedsCausal)
+	sched := rand.New(rand.NewSource(seed))
+	for _, so := range script {
+		p := peers[so.Node]
+		if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+			t.Fatalf("invoke %v at %s: %v", so.Op, so.Node, err)
+		}
+		// Let a random peer make some receive progress, so interleavings vary
+		// with the seed.
+		for k := sched.Intn(3); k > 0; k-- {
+			if _, err := peers[sched.Intn(n)].Step(false); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+		}
+	}
+	for _, p := range peers {
+		if err := p.Done(); err != nil {
+			t.Fatalf("done: %v", err)
+		}
+	}
+	for i, p := range peers {
+		if err := p.RunToQuiescence(5 * time.Second); err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	return peers
+}
+
+// TestPeerConvergesAllAlgorithms replicates every registered algorithm over
+// the deterministic Mem transport: after quiescence all peers must hold
+// byte-identical canonical states — the same frames, decoders and dedup
+// rules the socket transport ships between OS processes.
+func TestPeerConvergesAllAlgorithms(t *testing.T) {
+	for _, alg := range append(registry.All(), registry.Extensions()...) {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				peers := runPeersOverMem(t, alg, 3, 12, seed)
+				ref := peers[0].CanonicalState()
+				for i, p := range peers[1:] {
+					if !bytes.Equal(p.CanonicalState(), ref) {
+						t.Fatalf("seed %d: peer %d's canonical state differs from peer 0's", seed, i+1)
+					}
+				}
+				if _, ok := crdtConverged(alg, peers); !ok {
+					t.Fatalf("seed %d: abstract states diverged", seed)
+				}
+			}
+		})
+	}
+}
+
+func crdtConverged(alg registry.Algorithm, peers []*transport.Peer) (model.Value, bool) {
+	ref := alg.Abs(peers[0].State())
+	for _, p := range peers[1:] {
+		if !alg.Abs(p.State()).Equal(ref) {
+			return model.Nil(), false
+		}
+	}
+	return ref, true
+}
+
+// TestPeerCausalHoldBack hand-delivers causally ordered frames out of order:
+// a causal peer must hold the dependent frame back until its dependency
+// arrives, then apply both — converging to the origin's state — while the
+// delivery remains at-most-once.
+func TestPeerCausalHoldBack(t *testing.T) {
+	alg, ok := registry.ByName("aw-set")
+	if !ok {
+		t.Fatal("aw-set not registered")
+	}
+	m := transport.NewMem(2)
+	origin := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), true)
+	if _, err := origin.Invoke(model.Op{Name: spec.OpAdd, Arg: model.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := origin.Invoke(model.Op{Name: spec.OpRemove, Arg: model.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	// Collect the two frames queued for node 1: the remove causally depends
+	// on the add.
+	var frames []transport.Frame
+	ep := m.Endpoint(1)
+	for {
+		f, ok, err := ep.Recv(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("queued %d frames, want 2", len(frames))
+	}
+	add, rmv := frames[0], frames[1]
+	if len(rmv.Deps) == 0 {
+		t.Fatalf("remove frame carries no causal deps: %+v", rmv)
+	}
+	follower := transport.NewPeer(alg.New(), alg.DecodeEffector, transport.NewMem(2).Endpoint(1), true)
+	if err := follower.Handle(rmv); err != nil {
+		t.Fatalf("handle out-of-order remove: %v", err)
+	}
+	if follower.Applied() != 0 {
+		t.Fatal("dependent frame applied before its dependency")
+	}
+	if err := follower.Handle(add); err != nil {
+		t.Fatalf("handle add: %v", err)
+	}
+	if follower.Applied() != 2 {
+		t.Fatalf("applied %d frames after dependency arrived, want 2", follower.Applied())
+	}
+	// Duplicates of both frames are suppressed.
+	if err := follower.Handle(add); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Handle(rmv); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Applied() != 2 {
+		t.Fatalf("duplicate delivery reapplied: applied=%d", follower.Applied())
+	}
+	if !bytes.Equal(follower.CanonicalState(), origin.CanonicalState()) {
+		t.Fatal("follower did not converge to the origin state")
+	}
+}
+
+// TestPeerLamportMIDsDisjoint checks that two peers' request IDs never
+// collide and that receiving bumps the sequence past observed IDs.
+func TestPeerLamportMIDsDisjoint(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	m := transport.NewMem(2)
+	a := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), false)
+	b := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), false)
+	inc := model.Op{Name: spec.OpInc}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Invoke(inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b receives a's three broadcasts, then invokes: its next mid must sort
+	// after everything it has seen (Lamport order consistent with
+	// happens-before).
+	for i := 0; i < 3; i++ {
+		if ok, err := b.Step(true); err != nil || !ok {
+			t.Fatalf("step: ok=%v err=%v", ok, err)
+		}
+	}
+	if _, err := b.Invoke(inc); err != nil {
+		t.Fatal(err)
+	}
+	f, ok, err := m.Endpoint(0).Recv(true)
+	if err != nil || !ok {
+		t.Fatalf("recv b's broadcast: ok=%v err=%v", ok, err)
+	}
+	// a's mids on a 2-node group: 1, 3, 5. b observed up to 5, so its next is
+	// 2·seq+2 with seq ≥ 3 → at least 8 > 5.
+	if f.MID <= 5 {
+		t.Fatalf("b's mid %s does not sort after the 3 broadcasts it observed", f.MID)
+	}
+}

@@ -1,0 +1,409 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/model"
+)
+
+// Stream is the real Transport: the same checksummed codec frames the
+// simulator ships in-process, carried over unix or TCP sockets between OS
+// processes. The replication group is a full mesh described by an address
+// table (one listen address per node); endpoint i listens on Addrs[i], dials
+// every lower-numbered peer and accepts the higher-numbered ones, so any
+// start order connects exactly once per pair.
+//
+// Wire format per frame: uvarint length, then the checksummed codec frame
+// envelope (codec.AppendFrame) around the inner frame encoding — identical
+// bytes to what EncodeWire produces and the in-memory chaos runs corrupt,
+// so a flipped bit on a real link is rejected by the same decoder path.
+type Stream struct {
+	self  model.NodeID
+	addrs []streamAddr
+	ln    net.Listener
+
+	// RecvTimeout bounds one blocking Recv (default 30s); DialTimeout bounds
+	// the whole mesh setup (default 15s). Both are set via options.
+	recvTimeout time.Duration
+
+	mu    sync.Mutex // guards conns' write side
+	conns []net.Conn // indexed by peer node ID; nil at self
+
+	frames chan Frame
+	errs   chan error
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	// hung counts peer connections that ended cleanly (EOF after all their
+	// frames were handed over): a finished peer closing its endpoint is part
+	// of the protocol, not a failure, so Recv keeps serving buffered frames
+	// and only reports exhaustion once every peer is gone.
+	hungMu  sync.Mutex
+	hung    int
+	hungCh  chan struct{}
+	peerCnt int
+}
+
+// streamAddr is one parsed "network:address" endpoint.
+type streamAddr struct {
+	network, address string
+}
+
+func (a streamAddr) String() string { return a.network + ":" + a.address }
+
+// parseAddr parses "unix:/path/to.sock" or "tcp:host:port".
+func parseAddr(s string) (streamAddr, error) {
+	network, address, ok := strings.Cut(s, ":")
+	if !ok || address == "" {
+		return streamAddr{}, fmt.Errorf("transport: address %q is not network:address", s)
+	}
+	switch network {
+	case "unix", "tcp":
+		return streamAddr{network: network, address: address}, nil
+	default:
+		return streamAddr{}, fmt.Errorf("transport: unsupported network %q (want unix or tcp)", network)
+	}
+}
+
+// StreamOption configures Listen.
+type StreamOption func(*Stream)
+
+// WithRecvTimeout bounds each blocking Recv.
+func WithRecvTimeout(d time.Duration) StreamOption {
+	return func(s *Stream) { s.recvTimeout = d }
+}
+
+// handshake magic: distinguishes a peer of this protocol from a stray
+// connection before trusting its node ID.
+var streamMagic = []byte("crdt-repl\x01")
+
+// Listen opens node self's endpoint of a replication group whose node i
+// listens on addrs[i] (each "unix:/path" or "tcp:host:port"). It blocks
+// until the full mesh is connected: peers may start in any order within
+// dialTimeout (15s). On success every pair of nodes shares exactly one
+// connection, handshaked with the peer's node ID.
+func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, error) {
+	if int(self) < 0 || int(self) >= len(addrs) {
+		return nil, fmt.Errorf("transport: node %s outside the %d-entry address table", self, len(addrs))
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("transport: a replication group needs at least 2 addresses, got %d", len(addrs))
+	}
+	s := &Stream{
+		self:        self,
+		recvTimeout: 30 * time.Second,
+		conns:       make([]net.Conn, len(addrs)),
+		frames:      make(chan Frame, 64),
+		errs:        make(chan error, len(addrs)),
+		closed:      make(chan struct{}),
+		hungCh:      make(chan struct{}, len(addrs)),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, a := range addrs {
+		pa, err := parseAddr(a)
+		if err != nil {
+			return nil, err
+		}
+		s.addrs = append(s.addrs, pa)
+	}
+	ln, err := net.Listen(s.addrs[self].network, s.addrs[self].address)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", s.addrs[self], err)
+	}
+	s.ln = ln
+	const dialTimeout = 15 * time.Second
+	deadline := time.Now().Add(dialTimeout)
+	// Accept connections from higher-numbered peers in the background while
+	// dialing the lower-numbered ones.
+	type accepted struct {
+		peer model.NodeID
+		c    net.Conn
+		err  error
+	}
+	wantAccepts := len(addrs) - 1 - int(self)
+	acceptCh := make(chan accepted, wantAccepts)
+	if wantAccepts > 0 {
+		go func() {
+			for i := 0; i < wantAccepts; i++ {
+				c, err := ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{err: err}
+					return
+				}
+				peer, err := acceptHandshake(c, deadline)
+				if err != nil {
+					c.Close()
+					acceptCh <- accepted{err: err}
+					return
+				}
+				acceptCh <- accepted{peer: peer, c: c}
+			}
+		}()
+	}
+	fail := func(err error) (*Stream, error) {
+		s.Close()
+		return nil, err
+	}
+	for peer := 0; peer < int(self); peer++ {
+		c, err := dialPeer(s.addrs[peer], self, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		s.conns[peer] = c
+	}
+	for i := 0; i < wantAccepts; i++ {
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				return fail(fmt.Errorf("transport: accepting peers on %s: %w", s.addrs[self], a.err))
+			}
+			if int(a.peer) <= int(self) || int(a.peer) >= len(addrs) || s.conns[a.peer] != nil {
+				a.c.Close()
+				return fail(fmt.Errorf("transport: unexpected handshake from node %s", a.peer))
+			}
+			s.conns[a.peer] = a.c
+		case <-time.After(time.Until(deadline)):
+			return fail(fmt.Errorf("transport: %w: %d peer(s) never connected to %s",
+				ErrTimeout, wantAccepts-i, s.addrs[self]))
+		}
+	}
+	for peer, c := range s.conns {
+		if c == nil {
+			continue
+		}
+		s.peerCnt++
+		s.wg.Add(1)
+		go s.recvLoop(model.NodeID(peer), c)
+	}
+	return s, nil
+}
+
+// hangup records one peer connection ending cleanly and wakes any blocked
+// Recv so it can re-evaluate.
+func (s *Stream) hangup() {
+	s.hungMu.Lock()
+	s.hung++
+	s.hungMu.Unlock()
+	select {
+	case s.hungCh <- struct{}{}:
+	default:
+	}
+}
+
+// allHungUp reports whether every peer connection has ended cleanly. Each
+// hangup is recorded only after that connection's frames were all handed to
+// the frame queue, so allHungUp implies no more frames will ever arrive.
+func (s *Stream) allHungUp() bool {
+	s.hungMu.Lock()
+	defer s.hungMu.Unlock()
+	return s.hung == s.peerCnt
+}
+
+// dialPeer connects to a peer's listener, retrying until the deadline (the
+// peer process may not have started listening yet), and handshakes.
+func dialPeer(addr streamAddr, self model.NodeID, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		c, err := net.DialTimeout(addr.network, addr.address, time.Until(deadline))
+		if err == nil {
+			buf := append(append([]byte(nil), streamMagic...), binary.AppendUvarint(nil, uint64(self))...)
+			if _, err := c.Write(buf); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+			}
+			return c, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: %w dialing %s: %v", ErrTimeout, addr, lastErr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// acceptHandshake reads the magic and the dialer's node ID. It reads exact
+// byte counts straight off the connection — no read-ahead buffering — so
+// frames the dialer pipelines right behind the handshake stay in the socket
+// for the receive loop.
+func acceptHandshake(c net.Conn, deadline time.Time) (model.NodeID, error) {
+	c.SetReadDeadline(deadline)
+	defer c.SetReadDeadline(time.Time{})
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(c, magic); err != nil {
+		return 0, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if string(magic) != string(streamMagic) {
+		return 0, fmt.Errorf("transport: handshake magic mismatch")
+	}
+	peer, err := binary.ReadUvarint(oneByteReader{c})
+	if err != nil {
+		return 0, fmt.Errorf("transport: handshake node id: %w", err)
+	}
+	return model.NodeID(peer), nil
+}
+
+// oneByteReader adapts an io.Reader to io.ByteReader with single-byte reads
+// (no read-ahead).
+type oneByteReader struct{ r io.Reader }
+
+func (b oneByteReader) ReadByte() (byte, error) {
+	var p [1]byte
+	_, err := io.ReadFull(b.r, p[:])
+	return p[0], err
+}
+
+// maxWireFrame bounds one frame read off a socket (defense against a
+// corrupted length prefix allocating unboundedly).
+const maxWireFrame = 16 << 20
+
+// recvLoop reads frames from one peer connection into the shared channel.
+func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReader(c)
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err == nil && n > maxWireFrame {
+			err = fmt.Errorf("%w: %d-byte wire frame exceeds the %d cap", codec.ErrCorrupt, n, maxWireFrame)
+		}
+		var f Frame
+		if err == nil {
+			buf := make([]byte, n)
+			if _, err = io.ReadFull(br, buf); err == nil {
+				f, err = DecodeWire(buf)
+			}
+		}
+		if err != nil {
+			select {
+			case <-s.closed:
+			default:
+				if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+					// The peer finished and closed its end after flushing
+					// everything: a clean hangup, not a failure.
+					s.hangup()
+					return
+				}
+				select {
+				case s.errs <- fmt.Errorf("transport: receiving from node %s: %w", peer, err):
+				default:
+				}
+			}
+			return
+		}
+		select {
+		case s.frames <- f:
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// Self returns this endpoint's node ID.
+func (s *Stream) Self() model.NodeID { return s.self }
+
+// N returns the replication group size.
+func (s *Stream) N() int { return len(s.addrs) }
+
+// Broadcast ships one frame to every peer. The frame is encoded once; each
+// connection write is length-prefixed and serialized under the write lock.
+func (s *Stream) Broadcast(f Frame) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	wire := EncodeWire(f)
+	buf := append(binary.AppendUvarint(make([]byte, 0, len(wire)+binary.MaxVarintLen64), uint64(len(wire))), wire...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for peer, c := range s.conns {
+		if c == nil {
+			continue
+		}
+		if _, err := c.Write(buf); err != nil {
+			return fmt.Errorf("transport: sending to node %d: %w", peer, err)
+		}
+	}
+	return nil
+}
+
+// Recv returns the next frame received from any peer. Buffered frames are
+// always served first — a peer that finished and hung up has already pushed
+// everything it sent, so its hangup never hides frames. With wait=true Recv
+// blocks up to the receive timeout; a decode failure surfaces as the error
+// recorded by the receive loop, and once every peer has hung up and the
+// queue is drained it reports exhaustion.
+func (s *Stream) Recv(wait bool) (Frame, bool, error) {
+	for {
+		select {
+		case f := <-s.frames:
+			return f, true, nil
+		default:
+		}
+		if s.allHungUp() {
+			// No connection can produce more frames; drain once more (a
+			// frame may have landed between the checks), then report.
+			select {
+			case f := <-s.frames:
+				return f, true, nil
+			default:
+				return Frame{}, false, fmt.Errorf("transport: every peer hung up with the frame queue drained")
+			}
+		}
+		if !wait {
+			select {
+			case f := <-s.frames:
+				return f, true, nil
+			case err := <-s.errs:
+				return Frame{}, false, err
+			case <-s.closed:
+				return Frame{}, false, ErrClosed
+			default:
+				return Frame{}, false, nil
+			}
+		}
+		select {
+		case f := <-s.frames:
+			return f, true, nil
+		case err := <-s.errs:
+			return Frame{}, false, err
+		case <-s.hungCh:
+			continue // a peer hung up: re-evaluate exhaustion
+		case <-s.closed:
+			return Frame{}, false, ErrClosed
+		case <-time.After(s.recvTimeout):
+			return Frame{}, false, fmt.Errorf("transport: %w after %s", ErrTimeout, s.recvTimeout)
+		}
+	}
+}
+
+// Close tears the endpoint down: the listener and every peer connection are
+// closed and the receive loops drained.
+func (s *Stream) Close() error {
+	s.once.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.mu.Lock()
+		for _, c := range s.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}

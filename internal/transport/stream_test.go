@@ -1,0 +1,297 @@
+package transport_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// unixAddrs returns a full-mesh address table of n unix sockets in a fresh
+// temp dir.
+func unixAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+	}
+	return addrs
+}
+
+// runStreamPeer opens node id's endpoint, replicates its share of the
+// script, and returns the canonical state at quiescence.
+func runStreamPeer(alg registry.Algorithm, id model.NodeID, addrs []string, script sim.Script) ([]byte, error) {
+	st, err := transport.Listen(id, addrs, transport.WithRecvTimeout(10*time.Second))
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal)
+	for _, so := range script {
+		if so.Node != id {
+			continue
+		}
+		if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+			return nil, err
+		}
+		// Interleave receive progress so peers see each other's broadcasts.
+		if _, err := p.Step(false); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Done(); err != nil {
+		return nil, err
+	}
+	if err := p.RunToQuiescence(15 * time.Second); err != nil {
+		return nil, err
+	}
+	return p.CanonicalState(), nil
+}
+
+// TestStreamMeshConverges replicates an object across endpoints connected by
+// real unix sockets inside one process: every peer must reach the
+// byte-identical canonical state — the same Peer/frame/decoder stack the
+// two-process demo and the deterministic Mem tests use.
+func TestStreamMeshConverges(t *testing.T) {
+	alg, ok := registry.ByName("rga")
+	if !ok {
+		t.Fatal("rga not registered")
+	}
+	const n = 3
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), n, 12, 3, alg.NeedsCausal)
+	addrs := unixAddrs(t, n)
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = runStreamPeer(alg, model.NodeID(i), addrs, script)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("peer %d's canonical state differs from peer 0's", i)
+		}
+	}
+}
+
+// TestStreamTCPPair smoke-tests the tcp network flavour with a two-node pair
+// on loopback.
+func TestStreamTCPPair(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = "tcp:" + ln.Addr().String()
+		ln.Close()
+	}
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), 2, 10, 9, false)
+	results := make([][]byte, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = runStreamPeer(alg, model.NodeID(i), addrs, script)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Fatal("tcp peers did not converge to byte-identical state")
+	}
+}
+
+// TestStreamRejectsGarbage connects a non-peer to a listening endpoint and
+// checks the handshake turns it away.
+func TestStreamRejectsGarbage(t *testing.T) {
+	addrs := unixAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		// Node 1 accepts node 0; a garbage dialer must not be mistaken for it.
+		st, err := transport.Listen(1, addrs, transport.WithRecvTimeout(time.Second))
+		if err == nil {
+			st.Close()
+		}
+		done <- err
+	}()
+	// Give the listener a moment, then send garbage instead of a handshake.
+	var conn net.Conn
+	var err error
+	for i := 0; i < 100; i++ {
+		conn, err = net.Dial("unix", strings.TrimPrefix(addrs[1], "unix:"))
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("definitely not the handshake"))
+	conn.Close()
+	if err := <-done; err == nil {
+		t.Fatal("listener accepted a garbage handshake")
+	}
+}
+
+// TestStreamAddrValidation covers the address-table guard rails.
+func TestStreamAddrValidation(t *testing.T) {
+	if _, err := transport.Listen(0, []string{"unix:/tmp/x.sock"}); err == nil {
+		t.Error("1-entry table accepted")
+	}
+	if _, err := transport.Listen(5, []string{"unix:/tmp/a", "unix:/tmp/b"}); err == nil {
+		t.Error("out-of-table self accepted")
+	}
+	if _, err := transport.Listen(0, []string{"udp:1.2.3.4:5", "unix:/tmp/b"}); err == nil {
+		t.Error("unsupported network accepted")
+	}
+	if _, err := transport.Listen(0, []string{"nonsense", "unix:/tmp/b"}); err == nil {
+		t.Error("unparseable address accepted")
+	}
+}
+
+const (
+	peerHelperEnv   = "CRDT_STREAM_PEER_HELPER"
+	peerHelperMark  = "CANONICAL-STATE "
+	peerHelperAlg   = "rga"
+	peerHelperOps   = 14
+	peerHelperSeed  = 21
+	peerHelperNodes = 2
+)
+
+// TestStreamTwoProcessHelper is not a test on its own: re-executed as a
+// child process by TestStreamTwoOSProcessesConverge, it runs one socket peer
+// and prints its canonical state in hex. Without the env marker it skips.
+func TestStreamTwoProcessHelper(t *testing.T) {
+	cfg := os.Getenv(peerHelperEnv)
+	if cfg == "" {
+		t.Skip("helper: only runs re-executed as a peer child process")
+	}
+	parts := strings.SplitN(cfg, ";", 2)
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("bad helper config %q", cfg)
+	}
+	addrs := strings.Split(parts[1], ",")
+	alg, ok := registry.ByName(peerHelperAlg)
+	if !ok {
+		t.Fatalf("%s not registered", peerHelperAlg)
+	}
+	// Both processes generate the identical script from the fixed seed and
+	// invoke only their own node's share — no coordination beyond the socket.
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp),
+		peerHelperNodes, peerHelperOps, peerHelperSeed, alg.NeedsCausal)
+	state, err := runStreamPeer(alg, model.NodeID(id), addrs, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(peerHelperMark + hex.EncodeToString(state))
+}
+
+// TestStreamTwoOSProcessesConverge is the cross-process acceptance check:
+// two real OS processes (re-executions of this test binary) replicate an RGA
+// over a unix socket using the registry's decoders and must print the
+// byte-identical canonical state.
+func TestStreamTwoOSProcessesConverge(t *testing.T) {
+	if os.Getenv(peerHelperEnv) != "" {
+		t.Skip("already inside a helper child")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "n0.sock"),
+		"unix:" + filepath.Join(dir, "n1.sock"),
+	}
+	outs := make([]string, peerHelperNodes)
+	errCh := make(chan error, peerHelperNodes)
+	var wg sync.WaitGroup
+	for i := 0; i < peerHelperNodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(bin, "-test.run", "TestStreamTwoProcessHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				fmt.Sprintf("%s=%d;%s", peerHelperEnv, i, strings.Join(addrs, ",")))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				errCh <- fmt.Errorf("child %d: %v\n%s", i, err, out)
+				return
+			}
+			outs[i] = string(out)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	states := make([]string, peerHelperNodes)
+	for i, out := range outs {
+		sc := bufio.NewScanner(strings.NewReader(out))
+		for sc.Scan() {
+			if s, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), peerHelperMark); ok {
+				states[i] = s
+			}
+		}
+		if states[i] == "" {
+			t.Fatalf("child %d printed no canonical state:\n%s", i, out)
+		}
+	}
+	if states[0] != states[1] {
+		t.Fatalf("processes diverged:\n p0: %s\n p1: %s", states[0], states[1])
+	}
+	if len(states[0]) == 0 {
+		t.Fatal("empty canonical state")
+	}
+	t.Logf("both processes converged to canonical state %s…", states[0][:min(16, len(states[0]))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Package transport separates *how messages move* from *what a replica does*
+// (Sec 2, Fig 8): it ships the checksummed canonical codec frames of the wire
+// layer between the replicas of one replicated object, while the replica
+// layers above it (sim.Cluster for the simulated cluster, Peer for real
+// processes) decide what to do with each frame.
+//
+// Two implementations exist:
+//
+//   - Mem is the deterministic in-memory network the simulator schedules on:
+//     per-destination queues of frame copies over a virtual clock, with
+//     partition gating and copy-on-write consumption, byte-for-byte
+//     replayable under chaos fault injection.
+//   - Stream carries the identical frames over unix or TCP sockets so that
+//     separate OS processes can replicate an object, reusing the registry's
+//     effector decoders verbatim.
+//
+// The split mirrors the layering verified network models use (an abstract
+// delivery layer instantiated by concrete transports): everything above
+// Transport is transport-agnostic, so the same Peer converges over Mem in a
+// unit test and over a unix socket between two processes.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/model"
+)
+
+// Frame payload kinds. The kind byte is the first field of the inner frame
+// encoding; unknown kinds are rejected at decode time.
+const (
+	// KindEffector frames carry one canonically encoded effector
+	// (Effector.AppendBinary), the broadcast of one operation's second phase.
+	KindEffector byte = 1
+	// KindSnapshot frames carry one canonically encoded replica state
+	// (State.AppendBinary): the snapshot-based state transfer used to resync
+	// a fresh replica without replaying the whole broadcast log.
+	KindSnapshot byte = 2
+	// KindDone frames carry no payload; MID holds the origin's count of
+	// effectful broadcasts. Peers use them to detect quiescence: once every
+	// peer has announced its count and every announced frame has been
+	// applied, the object is stable.
+	KindDone byte = 3
+)
+
+// Frame is one addressed wire message: routing metadata plus an opaque
+// canonical payload. Deps carries the origin's causal dependency set (the
+// MsgIDs visible when the operation was issued) for algorithms that require
+// causal delivery; it is empty otherwise.
+type Frame struct {
+	Kind    byte
+	MID     model.MsgID
+	From    model.NodeID
+	Deps    []model.MsgID
+	Payload []byte
+}
+
+// Sentinel errors shared by the transports.
+var (
+	// ErrClosed: the endpoint was closed (locally or by a peer hangup).
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrTimeout: a blocking Recv outwaited its deadline.
+	ErrTimeout = errors.New("transport: receive timed out")
+)
+
+// Transport is one node's endpoint on the network of a replicated object.
+// Implementations must deliver each sent frame to its destination at most
+// once, unmodified (corruption is detected by the codec frame checksum and
+// surfaces as an error, never as a mangled Frame).
+type Transport interface {
+	// Self is the node this endpoint belongs to.
+	Self() model.NodeID
+	// N is the number of nodes in the object's replication group.
+	N() int
+	// Broadcast ships one frame from Self to every other node.
+	Broadcast(f Frame) error
+	// Recv returns the next frame that has arrived for Self. With wait=false
+	// it never blocks and reports ok=false when nothing has arrived; with
+	// wait=true it blocks until a frame arrives, the endpoint closes, or the
+	// implementation's receive deadline passes.
+	Recv(wait bool) (f Frame, ok bool, err error)
+	// Close releases the endpoint. Further operations fail with ErrClosed.
+	Close() error
+}
