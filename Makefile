@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain `go` —
 # these just bundle the invocations the docs mention.
 
-.PHONY: all build test short race ci chaos sockets fuzz soak bench bench-md repro examples fmt vet
+.PHONY: all build test short race ci chaos sockets fuzz soak bench bench-md bench-transport repro examples fmt vet
 
 all: build vet test
 
@@ -80,6 +80,17 @@ bench:
 # Pipe benchmarks through the markdown renderer.
 bench-md:
 	go test -bench=. -benchmem . | go run ./cmd/bench-report
+
+# Mirror of CI's transport-bench job: the stream-throughput sweep (network ×
+# batch size × payload) run 3× and collapsed to each case's fastest run
+# (min-of-N damps scheduler noise), rendered to bench_transport.json and
+# gated against the checked-in BENCH_transport.json — any case more than 25%
+# slower fails. To regenerate the baseline after an intentional perf change,
+# rerun the sweep with `-out BENCH_transport.json` (see EXPERIMENTS.md).
+bench-transport:
+	go test -run '^$$' -bench 'BenchmarkStreamThroughput' -benchtime=0.3s -count=3 -benchmem ./internal/transport/ > bench_transport.out || { s=$$?; cat bench_transport.out; rm -f bench_transport.out; exit $$s; }
+	cat bench_transport.out
+	go run ./cmd/bench-report -json -group StreamThroughput -best -out bench_transport.json -baseline BENCH_transport.json -tolerance 0.25 < bench_transport.out; s=$$?; rm -f bench_transport.out; exit $$s
 
 # One-command reproduction of every paper experiment.
 repro:

@@ -5,6 +5,13 @@
 //
 //	go test -bench=. -benchmem . | go run ./cmd/bench-report
 //	go test -bench=ExploreParallel . | go run ./cmd/bench-report -json -group ExploreParallel -out BENCH_explore.json
+//
+// With -baseline it also gates the parsed rows against a checked-in
+// BENCH_*.json: any case whose ns/op worsened by more than -tolerance exits
+// nonzero (after writing -out, so the artifact of a failing run survives for
+// inspection):
+//
+//	go test -bench=StreamThroughput ./internal/transport/ | go run ./cmd/bench-report -json -baseline BENCH_transport.json -tolerance 0.25
 package main
 
 import (
@@ -18,9 +25,13 @@ import (
 
 func main() {
 	var (
-		asJSON = flag.Bool("json", false, "emit JSON rows instead of markdown tables")
-		out    = flag.String("out", "", "write to this file instead of stdout")
-		group  = flag.String("group", "", "keep only rows of this benchmark group (name without the Benchmark prefix)")
+		asJSON    = flag.Bool("json", false, "emit JSON rows instead of markdown tables")
+		out       = flag.String("out", "", "write to this file instead of stdout")
+		group     = flag.String("group", "", "keep only rows of this benchmark group (name without the Benchmark prefix)")
+		baseline  = flag.String("baseline", "", "gate against this BENCH_*.json baseline: exit 1 when a case regresses past -tolerance")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed ns/op growth over the baseline before the gate fails (0.25 = +25%)")
+		best      = flag.Bool("best", false, "collapse duplicate cases (go test -count=N) to each case's fastest run")
+		worst     = flag.Bool("worst", false, "collapse duplicate cases to each case's slowest run (for recording a conservative baseline)")
 	)
 	flag.Parse()
 	rows, err := benchreport.Parse(bufio.NewReader(os.Stdin))
@@ -30,6 +41,16 @@ func main() {
 	}
 	if *group != "" {
 		rows = benchreport.Filter(rows, *group)
+	}
+	if *best && *worst {
+		fmt.Fprintln(os.Stderr, "bench-report: -best and -worst are mutually exclusive")
+		os.Exit(1)
+	}
+	if *best {
+		rows = benchreport.Best(rows)
+	}
+	if *worst {
+		rows = benchreport.Worst(rows)
 	}
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "bench-report: no benchmark lines found on stdin")
@@ -47,10 +68,31 @@ func main() {
 	}
 	if *out == "" {
 		os.Stdout.Write(rendered)
-		return
-	}
-	if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, rendered, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
+		os.Exit(1)
+	}
+	base, err := benchreport.ReadJSON(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
+		os.Exit(1)
+	}
+	regs := benchreport.Compare(rows, base, *tolerance)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-report: no case regressed more than %.0f%% vs %s\n", *tolerance*100, *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bench-report: %d case(s) regressed more than %.0f%% vs %s:\n", len(regs), *tolerance*100, *baseline)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
 }

@@ -32,8 +32,17 @@
 //	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -algo rga -ops 20 -seed 7 &
 //	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 1 -algo rga -ops 20 -seed 7
 //
-// Both print the byte-identical canonical state. Chaos fault injection needs
-// the deterministic in-memory transport and refuses to combine with sockets.
+// Both print the byte-identical canonical state. Write batching coalesces
+// queued broadcasts into one wire write per flush: -batch-frames N holds up
+// to N frames back, -batch-bytes B caps the pending container size, and
+// -flush-every D bounds how long the first queued frame waits. Batching is
+// pure wire plumbing — the canonical states still agree byte-for-byte, as
+// the printed per-peer transport stats show:
+//
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -batch-frames 8 -flush-every 5ms ...
+//
+// Chaos fault injection needs the deterministic in-memory transport and
+// refuses to combine with sockets.
 package main
 
 import (
@@ -75,6 +84,10 @@ func main() {
 		trans = flag.String("transport", "mem", "transport: mem (deterministic in-process simulation), unix or tcp (this process is one node of a socket mesh)")
 		node  = flag.Int("node", 0, "socket transports: this process's node id (an index into -addrs)")
 		addrs = flag.String("addrs", "", "socket transports: comma-separated full-mesh address table, one entry per node (unix: socket paths, tcp: host:port)")
+
+		batchFrames = flag.Int("batch-frames", 0, "socket transports: coalesce up to N queued broadcasts into one wire write (0 = unbatched)")
+		batchBytes  = flag.Int("batch-bytes", 0, "socket transports: flush the pending batch once it reaches B bytes of nested frames (0 = no byte cap)")
+		flushEvery  = flag.Duration("flush-every", 0, "socket transports: flush the pending batch at most this long after its first frame queued (0 = no delay timer)")
 	)
 	flag.Parse()
 	fail := func(format string, args ...any) {
@@ -88,10 +101,17 @@ func main() {
 	if *snap < 0 {
 		fail("-snapshot-every must be positive (got %d)", *snap)
 	}
+	if *batchFrames < 0 || *batchBytes < 0 || *flushEvery < 0 {
+		fail("-batch-frames, -batch-bytes and -flush-every must be non-negative")
+	}
+	policy := transport.BatchPolicy{MaxFrames: *batchFrames, MaxBytes: *batchBytes, MaxDelay: *flushEvery}
 	switch *trans {
 	case "mem":
 		if *addrs != "" {
 			fail("-addrs only applies to socket transports: pass -transport unix or -transport tcp")
+		}
+		if *batchFrames != 0 || *batchBytes != 0 || *flushEvery != 0 {
+			fail("write batching applies to socket transports: pass -transport unix or -transport tcp")
 		}
 	case "unix", "tcp":
 		if *chaos {
@@ -103,7 +123,7 @@ func main() {
 		if *addrs == "" {
 			fail("-transport %s needs -addrs with one %s address per node", *trans, *trans)
 		}
-		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed))
+		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy))
 	default:
 		fail("unknown transport %q (have: mem, unix, tcp)", *trans)
 	}
@@ -117,9 +137,10 @@ func main() {
 }
 
 // runPeer runs one node of a socket mesh: it generates the shared script
-// from the seed, plays its own share over the stream transport, and prints
-// the canonical state every process must agree on byte-for-byte.
-func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64) int {
+// from the seed, plays its own share over the stream transport (batching
+// writes per the policy), and prints the canonical state every process must
+// agree on byte-for-byte plus the transport's batching stats.
+func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -133,7 +154,8 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 		full[i] = network + ":" + strings.TrimSpace(a)
 	}
 	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), len(addrList), ops, seed, alg.NeedsCausal)
-	st, err := transport.Listen(model.NodeID(node), full, transport.WithRecvTimeout(30*time.Second))
+	st, err := transport.Listen(model.NodeID(node), full,
+		transport.WithRecvTimeout(30*time.Second), transport.WithBatching(policy))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
 		return 1
@@ -164,6 +186,12 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 	}
 	fmt.Printf("node %d: quiescent over %s (issued %d, applied %d remote), φ(state) = %s\n",
 		node, network, p.Issued(), p.Applied(), alg.Abs(p.State()))
+	if ts, ok := p.TransportStats(); ok {
+		sent, recv := ts.TotalSent(), ts.TotalRecv()
+		fmt.Printf("node %d: transport sent %d frames in %d batches (%d B), received %d frames in %d batches (%d B), flushes frames=%d bytes=%d delay=%d explicit=%d close=%d\n",
+			node, sent.Frames, sent.Batches, sent.Bytes, recv.Frames, recv.Batches, recv.Bytes,
+			ts.Flushes.Frames, ts.Flushes.Bytes, ts.Flushes.Delay, ts.Flushes.Explicit, ts.Flushes.Close)
+	}
 	fmt.Printf("node %d: canonical state %s\n", node, hex.EncodeToString(p.CanonicalState()))
 	return 0
 }

@@ -89,6 +89,102 @@ func Parse(r io.Reader) ([]Row, error) {
 	return rows, sc.Err()
 }
 
+// Best collapses duplicate (group, case) rows — the output of
+// `go test -count=N` — to each case's fastest run, preserving first-seen
+// order. Min-of-N is the standard noise reduction for microbenchmarks: the
+// fastest run is the one least perturbed by scheduling, so gating min
+// against min compares the code, not the machine's mood.
+func Best(rows []Row) []Row {
+	idx := make(map[string]int, len(rows))
+	var out []Row
+	for _, r := range rows {
+		key := r.Group + "/" + r.Case
+		if i, ok := idx[key]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[key] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// Worst is Best's mirror: it collapses duplicate (group, case) rows to each
+// case's slowest run. A regression baseline recorded as worst-of-N marks the
+// top of the machine's noise envelope, so gating a later best-of-N against
+// it only fires on slowdowns bigger than the noise — the protocol the
+// transport throughput gate uses (EXPERIMENTS.md).
+func Worst(rows []Row) []Row {
+	idx := make(map[string]int, len(rows))
+	var out []Row
+	for _, r := range rows {
+		key := r.Group + "/" + r.Case
+		if i, ok := idx[key]; ok {
+			if r.NsPerOp > out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[key] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// Regression is one benchmark case whose ns/op worsened past the tolerance
+// against a baseline.
+type Regression struct {
+	Group, Case string
+	// BaseNs and CurNs are the baseline and current ns/op; Ratio is
+	// CurNs/BaseNs (> 1+tolerance to count as a regression).
+	BaseNs, CurNs, Ratio float64
+}
+
+func (r Regression) String() string {
+	name := r.Group
+	if r.Case != "" {
+		name += "/" + r.Case
+	}
+	return fmt.Sprintf("%s: %s -> %s (%.2fx)", name, Duration(r.BaseNs), Duration(r.CurNs), r.Ratio)
+}
+
+// Compare gates cur against base: it returns the cases present in both whose
+// ns/op grew by more than tolerance (0.25 = fail beyond +25%). Cases only in
+// one input are ignored — a renamed or new benchmark must not trip the gate —
+// so callers should separately ensure cur is non-empty.
+func Compare(cur, base []Row, tolerance float64) []Regression {
+	baseline := make(map[string]Row, len(base))
+	for _, r := range base {
+		baseline[r.Group+"/"+r.Case] = r
+	}
+	var out []Regression
+	for _, r := range cur {
+		b, ok := baseline[r.Group+"/"+r.Case]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > 1+tolerance {
+			out = append(out, Regression{
+				Group: r.Group, Case: r.Case,
+				BaseNs: b.NsPerOp, CurNs: r.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	return out
+}
+
+// ReadJSON loads a BENCH_*.json array previously written by JSON.
+func ReadJSON(b []byte) ([]Row, error) {
+	var rows []Row
+	if err := json.Unmarshal(b, &rows); err != nil {
+		return nil, fmt.Errorf("benchreport: bad baseline JSON: %w", err)
+	}
+	return rows, nil
+}
+
 // Duration renders nanoseconds human-readably (ns, µs, ms, s).
 func Duration(ns float64) string {
 	switch {

@@ -83,6 +83,88 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	base := []Row{
+		{Group: "StreamThroughput", Case: "tcp/batch=1/payload=64", NsPerOp: 1000},
+		{Group: "StreamThroughput", Case: "tcp/batch=8/payload=64", NsPerOp: 100},
+		{Group: "StreamThroughput", Case: "unix/batch=1/payload=64", NsPerOp: 800},
+		{Group: "Old", Case: "gone", NsPerOp: 50},
+	}
+	cur := []Row{
+		{Group: "StreamThroughput", Case: "tcp/batch=1/payload=64", NsPerOp: 1200}, // +20%: inside tolerance
+		{Group: "StreamThroughput", Case: "tcp/batch=8/payload=64", NsPerOp: 140},  // +40%: regression
+		{Group: "StreamThroughput", Case: "unix/batch=1/payload=64", NsPerOp: 400}, // improvement
+		{Group: "StreamThroughput", Case: "unix/batch=8/payload=64", NsPerOp: 9e9}, // new case: ignored
+	}
+	regs := Compare(cur, base, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the +40%% case", regs)
+	}
+	r := regs[0]
+	if r.Case != "tcp/batch=8/payload=64" || r.BaseNs != 100 || r.CurNs != 140 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if r.Ratio < 1.39 || r.Ratio > 1.41 {
+		t.Fatalf("ratio = %v, want 1.4", r.Ratio)
+	}
+	if s := r.String(); !strings.Contains(s, "tcp/batch=8/payload=64") || !strings.Contains(s, "1.40x") {
+		t.Fatalf("rendering = %q", s)
+	}
+	if regs := Compare(cur, base, 0.5); len(regs) != 0 {
+		t.Fatalf("tolerance 0.5 still flagged %+v", regs)
+	}
+}
+
+func TestBest(t *testing.T) {
+	rows := []Row{
+		{Group: "A", Case: "x", NsPerOp: 300},
+		{Group: "A", Case: "y", NsPerOp: 100},
+		{Group: "A", Case: "x", NsPerOp: 200}, // faster rerun of A/x
+		{Group: "A", Case: "y", NsPerOp: 150}, // slower rerun of A/y
+	}
+	best := Best(rows)
+	if len(best) != 2 {
+		t.Fatalf("best = %+v, want 2 rows", best)
+	}
+	if best[0].Case != "x" || best[0].NsPerOp != 200 {
+		t.Fatalf("best[0] = %+v, want A/x at 200", best[0])
+	}
+	if best[1].Case != "y" || best[1].NsPerOp != 100 {
+		t.Fatalf("best[1] = %+v, want A/y at 100", best[1])
+	}
+}
+
+func TestWorst(t *testing.T) {
+	rows := []Row{
+		{Group: "A", Case: "x", NsPerOp: 300},
+		{Group: "A", Case: "x", NsPerOp: 200},
+		{Group: "A", Case: "y", NsPerOp: 100},
+		{Group: "A", Case: "y", NsPerOp: 150},
+	}
+	worst := Worst(rows)
+	if len(worst) != 2 || worst[0].NsPerOp != 300 || worst[1].NsPerOp != 150 {
+		t.Fatalf("worst = %+v", worst)
+	}
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	rows, _ := Parse(strings.NewReader(sample))
+	b, err := JSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0] != rows[0] {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	if _, err := ReadJSON([]byte("not json")); err == nil {
+		t.Fatal("garbage baseline accepted")
+	}
+}
+
 func TestFilterAndJSON(t *testing.T) {
 	rows, _ := Parse(strings.NewReader(sample))
 	only := Filter(rows, "Fig3_ACCDecision")

@@ -18,11 +18,15 @@
 //     stable-frontier checkpoints, broadcast-log truncation and
 //     snapshot-based fresh resync converges to byte-identical canonical
 //     states as full log replay;
-//  8. codec round-trip: every op, return value, effector and replica state
+//  8. batched transport convergence: the socket-style replica layer over
+//     write-batching endpoints (mixed flush policies per node) reaches
+//     byte-identical canonical states, replays deterministically, and keeps
+//     balanced batch accounting;
+//  9. codec round-trip: every op, return value, effector and replica state
 //     reached by drained runs survives decode(encode(x)) == x through the
 //     canonical binary codec, and converged replicas encode byte-equal
 //     (the canonical-form guarantee);
-//  9. contextual refinement on a client program (the Abstraction Theorem's
+//  10. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -32,7 +36,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
+	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -44,6 +51,7 @@ import (
 	"repro/internal/refine"
 	"repro/internal/sim"
 	"repro/internal/spec"
+	"repro/internal/transport"
 )
 
 // Config tunes the battery.
@@ -173,6 +181,13 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// snapshot-based fresh resync) must converge to the byte-identical
 	// canonical states the full-log-replay run reaches.
 	add("snapshot recovery", snapshotChecks(alg, cfg))
+
+	// 6c. Batched transport convergence: the replica layer over write-batching
+	// endpoints (mixed flush policies per node, including an unbatched one)
+	// still reaches byte-identical canonical states at quiescence, batched
+	// runs replay deterministically, and the batch accounting balances —
+	// batching is wire plumbing and must never change replication semantics.
+	add("batched transport convergence", batchedChecks(alg, cfg))
 
 	// 7. Codec round-trip: the canonical binary encoding is lossless and
 	// canonical on everything drained runs reach — ops, return values,
@@ -499,6 +514,113 @@ func snapshotResyncScenario(alg registry.Algorithm) error {
 	}
 	if st.Checkpoints == 0 || st.LogTruncated == 0 {
 		return fmt.Errorf("snapshot cluster never checkpointed and truncated (stats %+v)", st)
+	}
+	return nil
+}
+
+// batchedChecks runs the batched-transport battery item: each seed's script
+// replicates across transport.Peer replicas on a shared deterministic Mem,
+// but through write-batching endpoints with a different flush policy per
+// node — a tight frame cap, a byte cap, and no batching at all. At
+// quiescence every replica must hold the byte-identical canonical state
+// (batching must not change replication semantics), an identical rerun must
+// reproduce the exact states and transport stats (batched executions stay
+// deterministic), and the counters must balance: every queued frame reaches
+// every peer, and a capped policy actually coalesces (fewer flushes than
+// frames) rather than degenerating to frame-at-a-time writes.
+func batchedChecks(alg registry.Algorithm, cfg Config) error {
+	const nodes = 3
+	ops := cfg.Steps / 4
+	if ops < 6 {
+		ops = 6
+	}
+	if ops > 12 {
+		ops = 12
+	}
+	seeds := cfg.Seeds
+	if seeds > 3 {
+		seeds = 3
+	}
+	policies := [nodes]transport.BatchPolicy{
+		{MaxFrames: 2},
+		{MaxFrames: 64, MaxBytes: 96},
+		{}, // unbatched control
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, seed, alg.NeedsCausal)
+		run := func() ([][]byte, []transport.Stats, error) {
+			m := transport.NewMem(nodes)
+			peers := make([]*transport.Peer, nodes)
+			for i := range peers {
+				peers[i] = transport.NewPeer(alg.New(), alg.DecodeEffector,
+					m.BatchedEndpoint(model.NodeID(i), policies[i]), alg.NeedsCausal)
+			}
+			sched := rand.New(rand.NewSource(seed))
+			for _, so := range script {
+				if _, err := peers[so.Node].Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+					return nil, nil, fmt.Errorf("invoke %v at %s: %w", so.Op, so.Node, err)
+				}
+				// Vary visibility: random peers make receive progress between
+				// invocations, from the same seeded source both runs share.
+				for k := sched.Intn(3); k > 0; k-- {
+					if _, err := peers[sched.Intn(nodes)].Step(false); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			for _, p := range peers {
+				if err := p.Done(); err != nil {
+					return nil, nil, err
+				}
+			}
+			states := make([][]byte, nodes)
+			stats := make([]transport.Stats, nodes)
+			for i, p := range peers {
+				if err := p.RunToQuiescence(5 * time.Second); err != nil {
+					return nil, nil, fmt.Errorf("peer %d: %w", i, err)
+				}
+				states[i] = p.CanonicalState()
+				st, ok := p.TransportStats()
+				if !ok {
+					return nil, nil, fmt.Errorf("peer %d: batched endpoint reports no stats", i)
+				}
+				stats[i] = st
+			}
+			return states, stats, nil
+		}
+		states, stats, err := run()
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		for i := 1; i < nodes; i++ {
+			if !bytes.Equal(states[i], states[0]) {
+				return fmt.Errorf("seed %d: batched peer %d's canonical state differs from peer 0's", seed, i)
+			}
+		}
+		for i, st := range stats {
+			if got, want := st.TotalSent().Frames, st.FramesQueued*(nodes-1); got != want {
+				return fmt.Errorf("seed %d: peer %d flushed %d per-peer frames for %d queued — a pending batch was lost",
+					seed, i, got, want)
+			}
+		}
+		// The tight frame cap on peer 0 must have coalesced: with ≥2 frames
+		// queued, at least one flush carried more than one frame.
+		if st := stats[0]; st.FramesQueued >= 2 && st.Flushes.Total() >= st.FramesQueued {
+			return fmt.Errorf("seed %d: capped policy never coalesced (%d flushes for %d frames)",
+				seed, st.Flushes.Total(), st.FramesQueued)
+		}
+		states2, stats2, err := run()
+		if err != nil {
+			return fmt.Errorf("seed %d rerun: %w", seed, err)
+		}
+		for i := range states {
+			if !bytes.Equal(states[i], states2[i]) {
+				return fmt.Errorf("seed %d: batched run is not deterministic — peer %d's state differs on rerun", seed, i)
+			}
+		}
+		if !reflect.DeepEqual(stats, stats2) {
+			return fmt.Errorf("seed %d: batched run is not deterministic — transport stats differ on rerun", seed)
+		}
 	}
 	return nil
 }

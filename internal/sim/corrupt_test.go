@@ -32,6 +32,10 @@ func TestWireCodecShipsBytes(t *testing.T) {
 	if got := c.FaultStats().PayloadBytes; got != sum {
 		t.Fatalf("PayloadBytes = %d, want sum of links %d", got, sum)
 	}
+	// One broadcast fans out to the two other nodes: one frame copy per link.
+	if got := c.FaultStats().PayloadFrames; got != 2 {
+		t.Fatalf("PayloadFrames = %d, want 2", got)
+	}
 	c.DeliverAll()
 	if abs, ok := c.Converged(alg.Abs); !ok || !abs.Equal(model.Int(5)) {
 		t.Fatalf("converged = %v %s, want 5", ok, abs)
@@ -46,8 +50,8 @@ func TestWireCodecWithoutOptionIsFree(t *testing.T) {
 	if _, _, err := c.Invoke(0, model.Op{Name: spec.OpInc, Arg: model.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if c.LinkBytes(0, 1) != 0 || c.FaultStats().PayloadBytes != 0 {
-		t.Fatal("cluster without a wire codec must not count payload bytes")
+	if c.LinkBytes(0, 1) != 0 || c.FaultStats().PayloadBytes != 0 || c.FaultStats().PayloadFrames != 0 {
+		t.Fatal("cluster without a wire codec must not count payload bytes or frames")
 	}
 }
 

@@ -149,8 +149,12 @@ type FaultStats struct {
 	Corrupted, CorruptRejected int
 	// PayloadBytes totals the wire payload bytes queued across all links,
 	// including duplicated copies and corruption retransmissions (see
-	// Cluster.LinkBytes for the per-link split).
-	PayloadBytes int
+	// Cluster.LinkBytes for the per-link split); PayloadFrames counts the
+	// frame copies those bytes travelled in, so bytes/frames gives the mean
+	// wire payload size — the figure batching policies on the socket
+	// transport amortise per-write costs over.
+	PayloadBytes  int
+	PayloadFrames int
 	// Checkpoints counts snapshot checkpoints that advanced the stable
 	// frontier; LogTruncated counts broadcast-log entries truncated by them;
 	// SnapshotBytes totals the encoded snapshot frames written.
@@ -165,8 +169,8 @@ type FaultStats struct {
 
 // String renders the stats compactly.
 func (s FaultStats) String() string {
-	out := fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d corrupted=%d corrupt-rejected=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d payload=%dB",
-		s.Lost, s.Delayed, s.Duplicated, s.DupSuppressed, s.Corrupted, s.CorruptRejected, s.Crashes, s.Recoveries, s.Resyncs, s.Partitions, s.Heals, s.PayloadBytes)
+	out := fmt.Sprintf("lost=%d delayed=%d dup=%d dup-suppressed=%d corrupted=%d corrupt-rejected=%d crashes=%d recoveries=%d resyncs=%d partitions=%d heals=%d payload=%dB/%df",
+		s.Lost, s.Delayed, s.Duplicated, s.DupSuppressed, s.Corrupted, s.CorruptRejected, s.Crashes, s.Recoveries, s.Resyncs, s.Partitions, s.Heals, s.PayloadBytes, s.PayloadFrames)
 	if s.Checkpoints > 0 || s.SnapshotResyncs > 0 {
 		out += fmt.Sprintf(" checkpoints=%d truncated=%d snap-resyncs=%d snap=%dB",
 			s.Checkpoints, s.LogTruncated, s.SnapshotResyncs, s.SnapshotBytes)

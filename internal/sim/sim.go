@@ -158,6 +158,7 @@ func (c *Cluster) LinkBytes(from, to model.NodeID) int {
 func (c *Cluster) countPayload(from, to model.NodeID, n, copies int) {
 	c.linkBytes[from][to] += n * copies
 	c.stats.PayloadBytes += n * copies
+	c.stats.PayloadFrames += copies
 }
 
 // NewCluster creates a cluster of n nodes (IDs 0..n-1), each starting from

@@ -1,0 +1,456 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/model"
+)
+
+func batchFrames() []Frame {
+	return []Frame{
+		{Kind: KindEffector, MID: 1, From: 0, Payload: []byte("alpha")},
+		{Kind: KindEffector, MID: 3, From: 0, Deps: []model.MsgID{1}, Payload: []byte("beta")},
+		{Kind: KindDone, MID: 5, From: 0, Payload: codec.AppendUvarint(nil, 2)},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	frames := batchFrames()
+	for n := 0; n <= len(frames); n++ {
+		enc := EncodeBatch(frames[:n])
+		got, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("decode %d-frame batch: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d frames, want %d", len(got), n)
+		}
+		for i, f := range got {
+			if !bytes.Equal(EncodeWire(f), EncodeWire(frames[i])) {
+				t.Fatalf("frame %d mutated in the batch round trip", i)
+			}
+		}
+	}
+}
+
+// envelopeOffsets returns the container offset where each nested frame's
+// envelope starts, plus the container's total length.
+func envelopeOffsets(frames []Frame) ([]int, int) {
+	off := len(codec.AppendUvarint(nil, uint64(len(frames))))
+	offs := make([]int, len(frames))
+	for i, f := range frames {
+		offs[i] = off
+		off += len(EncodeWire(f))
+	}
+	return offs, off
+}
+
+// TestBatchCorruptNestedFrameRejectsOnlyIt flips a checksum bit of the
+// middle frame: the batch must deliver the first and last frames and report
+// exactly the middle one rejected.
+func TestBatchCorruptNestedFrameRejectsOnlyIt(t *testing.T) {
+	frames := batchFrames()
+	enc := EncodeBatch(frames)
+	offs, total := envelopeOffsets(frames)
+	if total != len(enc) {
+		t.Fatalf("offset math off: %d != %d", total, len(enc))
+	}
+	// The envelope's trailing 8 bytes are its checksum: flipping one there
+	// leaves every length prefix intact, so the corruption is frame-local.
+	cp := append([]byte(nil), enc...)
+	cp[offs[2]-1] ^= 0x10
+	got, err := DecodeBatch(cp)
+	var bad *BatchError
+	if !errors.As(err, &bad) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(bad.Rejected) != 1 || bad.Rejected[0] != 1 {
+		t.Fatalf("rejected %v, want [1]", bad.Rejected)
+	}
+	if !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("BatchError does not wrap codec.ErrCorrupt: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d frames, want the 2 intact ones", len(got))
+	}
+	if got[0].MID != 1 || got[1].MID != 5 {
+		t.Fatalf("delivered mids %s,%s, want 1,5", got[0].MID, got[1].MID)
+	}
+}
+
+// TestBatchStructuralCorruption: damage that destroys the frame boundaries
+// (count prefix, envelope length prefix, truncation, trailing bytes) voids
+// the batch with a plain corrupt error, not a per-frame rejection.
+func TestBatchStructuralCorruption(t *testing.T) {
+	frames := batchFrames()
+	enc := EncodeBatch(frames)
+	offs, _ := envelopeOffsets(frames)
+	cases := map[string][]byte{
+		"truncated mid-batch": enc[:offs[1]+3],
+		"trailing bytes":      append(append([]byte(nil), enc...), 0xaa),
+		"count overflow":      append(codec.AppendUvarint(nil, 1000), enc[1:]...),
+	}
+	// Mangle the middle envelope's length prefix so it overruns the batch.
+	lp := append([]byte(nil), enc...)
+	lp[offs[1]] = 0xff
+	lp[offs[1]+1] = 0x7f
+	cases["length prefix overrun"] = lp
+	for name, b := range cases {
+		got, err := DecodeBatch(b)
+		var bad *BatchError
+		if errors.As(err, &bad) {
+			t.Errorf("%s: got a per-frame BatchError, want structural failure", name)
+		}
+		if !errors.Is(err, codec.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want codec.ErrCorrupt", name, err)
+		}
+		for i, f := range got {
+			if !frameAmong(f, frames) {
+				t.Errorf("%s: surviving frame %d is not one of the originals: %+v", name, i, f)
+			}
+		}
+	}
+}
+
+func frameAmong(f Frame, in []Frame) bool {
+	w := EncodeWire(f)
+	for _, g := range in {
+		if bytes.Equal(w, EncodeWire(g)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBatchBitFlipSweep flips every bit of an encoded batch: whatever the
+// flip hits — count, a length prefix, a payload, a checksum — decoding must
+// either report an error or return only frames byte-identical to originals.
+// No flip may silently mutate a delivered frame.
+func TestBatchBitFlipSweep(t *testing.T) {
+	frames := batchFrames()
+	enc := EncodeBatch(frames)
+	for bit := 0; bit < len(enc)*8; bit++ {
+		cp := append([]byte(nil), enc...)
+		cp[bit/8] ^= 1 << (bit % 8)
+		got, err := DecodeBatch(cp)
+		if err == nil && len(got) != len(frames) {
+			t.Fatalf("bit %d: clean decode of %d frames, want %d", bit, len(got), len(frames))
+		}
+		for i, f := range got {
+			if !frameAmong(f, frames) {
+				t.Fatalf("bit %d: delivered frame %d is a mutation (err=%v)", bit, i, err)
+			}
+		}
+	}
+}
+
+// --- stream-level error paths -----------------------------------------------
+
+// fakePeer dials addr and handshakes as node id, returning the raw
+// connection for hand-crafted wire bytes.
+func fakePeer(t *testing.T, network, address string, id uint64) net.Conn {
+	t.Helper()
+	var c net.Conn
+	var err error
+	for i := 0; i < 200; i++ {
+		c, err = net.Dial(network, address)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append(append([]byte(nil), streamMagic...), binary.AppendUvarint(nil, id)...)
+	if _, err := c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// listenNode0 opens node 0's endpoint of a 2-node unix group in the
+// background and returns it once the fake node 1 can dial.
+func listenNode0(t *testing.T) (string, <-chan *Stream) {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "n0.sock"),
+		"unix:" + filepath.Join(dir, "n1.sock"),
+	}
+	ch := make(chan *Stream, 1)
+	go func() {
+		st, err := Listen(0, addrs, WithRecvTimeout(5*time.Second))
+		if err != nil {
+			t.Error(err)
+			close(ch)
+			return
+		}
+		ch <- st
+	}()
+	return filepath.Join(dir, "n0.sock"), ch
+}
+
+// wireContainer length-prefixes a batch container as one wire write.
+func wireContainer(container []byte) []byte {
+	return append(binary.AppendUvarint(nil, uint64(len(container))), container...)
+}
+
+// TestStreamCorruptNestedFrameRejectsOnlyIt ships a 3-frame batch whose
+// middle frame is corrupted into a live Stream: the two intact frames must
+// deliver, the rejection must be counted, the connection must survive to
+// hang up cleanly afterwards.
+func TestStreamCorruptNestedFrameRejectsOnlyIt(t *testing.T) {
+	path, ch := listenNode0(t)
+	conn := fakePeer(t, "unix", path, 1)
+	st, ok := <-ch
+	if !ok {
+		t.Fatal("listen failed")
+	}
+	defer st.Close()
+	frames := batchFrames()
+	enc := EncodeBatch(frames)
+	offs, _ := envelopeOffsets(frames)
+	enc[offs[2]-1] ^= 0x01 // middle frame's checksum
+	if _, err := conn.Write(wireContainer(enc)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []model.MsgID{1, 5} {
+		f, ok, err := st.Recv(true)
+		if err != nil || !ok {
+			t.Fatalf("recv: ok=%v err=%v", ok, err)
+		}
+		if f.MID != want {
+			t.Fatalf("recv mid %s, want %s", f.MID, want)
+		}
+	}
+	conn.Close() // clean hangup after the batch
+	if _, ok, err := st.Recv(true); ok || err == nil {
+		t.Fatalf("post-hangup recv: ok=%v err=%v, want exhaustion", ok, err)
+	}
+	if got := st.Stats(); got.FramesRejected != 1 {
+		t.Fatalf("FramesRejected = %d, want 1", got.FramesRejected)
+	}
+}
+
+// TestStreamShortReadMidBatch hangs a connection up in the middle of an
+// announced batch: the receiver must surface an error, never a clean
+// hangup that would silently swallow the loss.
+func TestStreamShortReadMidBatch(t *testing.T) {
+	path, ch := listenNode0(t)
+	conn := fakePeer(t, "unix", path, 1)
+	st, ok := <-ch
+	if !ok {
+		t.Fatal("listen failed")
+	}
+	defer st.Close()
+	enc := EncodeBatch(batchFrames())
+	wire := wireContainer(enc)
+	if _, err := conn.Write(wire[:len(wire)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	_, ok, err := st.Recv(true)
+	if ok || err == nil {
+		t.Fatalf("recv after short read: ok=%v err=%v, want an error", ok, err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("short read surfaced as a timeout, want a receive error: %v", err)
+	}
+}
+
+// TestStreamCloseDrainsPartialBatch closes a sender whose batch never hit a
+// flush trigger: the close must drain the partial batch so the receiver
+// sees every queued frame before the clean hangup.
+func TestStreamCloseDrainsPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "n0.sock"),
+		"unix:" + filepath.Join(dir, "n1.sock"),
+	}
+	var sender, receiver *Stream
+	errs := make(chan error, 2)
+	go func() {
+		var err error
+		sender, err = Listen(0, addrs, WithBatching(BatchPolicy{MaxFrames: 100}))
+		errs <- err
+	}()
+	go func() {
+		var err error
+		receiver, err = Listen(1, addrs, WithRecvTimeout(5*time.Second))
+		errs <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer receiver.Close()
+	const queued = 3
+	for i := 0; i < queued; i++ {
+		if err := sender.Broadcast(Frame{Kind: KindEffector, MID: model.MsgID(i + 1), From: 0, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sender.Stats(); got.Flushes.Total() != 0 {
+		t.Fatalf("batch flushed before close: %+v", got.Flushes)
+	}
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queued; i++ {
+		f, ok, err := receiver.Recv(true)
+		if err != nil || !ok {
+			t.Fatalf("recv %d after sender close: ok=%v err=%v", i, ok, err)
+		}
+		if f.MID != model.MsgID(i+1) {
+			t.Fatalf("recv %d: mid %s, want %d", i, f.MID, i+1)
+		}
+	}
+	if _, ok, err := receiver.Recv(true); ok || err == nil {
+		t.Fatal("receiver did not report exhaustion after the drain")
+	}
+	st := sender.Stats()
+	if st.Flushes.Close != 1 || st.Sent[1].Frames != queued || st.Sent[1].Batches != 1 {
+		t.Fatalf("sender stats after close drain: %+v", st)
+	}
+}
+
+// TestStreamFlushTriggers drives each flush trigger on a live pair and
+// checks the per-trigger counters and per-peer IO stats.
+func TestStreamFlushTriggers(t *testing.T) {
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "a.sock"),
+		"unix:" + filepath.Join(dir, "b.sock"),
+	}
+	var sender, receiver *Stream
+	errs := make(chan error, 2)
+	go func() {
+		var err error
+		sender, err = Listen(0, addrs, WithBatching(BatchPolicy{MaxFrames: 3, MaxBytes: 64, MaxDelay: 40 * time.Millisecond}))
+		errs <- err
+	}()
+	go func() {
+		var err error
+		receiver, err = Listen(1, addrs, WithRecvTimeout(5*time.Second))
+		errs <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer sender.Close()
+	defer receiver.Close()
+	mid := model.MsgID(0)
+	send := func(payload int) {
+		mid++
+		if err := sender.Broadcast(Frame{Kind: KindEffector, MID: mid, From: 0, Payload: bytes.Repeat([]byte{1}, payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, ok, err := receiver.Recv(true); !ok || err != nil {
+				t.Fatalf("recv: ok=%v err=%v", ok, err)
+			}
+		}
+	}
+	// Frame cap: three small frames flush as one batch.
+	send(4)
+	send(4)
+	send(4)
+	recv(3)
+	// Byte cap: one frame bigger than MaxBytes flushes immediately.
+	send(100)
+	recv(1)
+	// Delay: a lone frame flushes once the timer fires.
+	send(4)
+	recv(1)
+	// Explicit flush.
+	send(4)
+	if err := sender.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recv(1)
+	st := sender.Stats()
+	if st.Flushes.Frames != 1 || st.Flushes.Bytes != 1 || st.Flushes.Delay != 1 || st.Flushes.Explicit != 1 {
+		t.Fatalf("flush triggers = %+v, want one each of frames/bytes/delay/explicit", st.Flushes)
+	}
+	if st.FramesQueued != 6 || st.Sent[1].Frames != 6 || st.Sent[1].Batches != 4 {
+		t.Fatalf("send stats = %+v, want 6 frames in 4 batches to peer 1", st)
+	}
+	if st.Sent[1].Bytes == 0 {
+		t.Fatal("no wire bytes counted")
+	}
+	rst := receiver.Stats()
+	if rst.Recv[0].Frames != 6 || rst.Recv[0].Batches != 4 || rst.Recv[0].Bytes != st.Sent[1].Bytes {
+		t.Fatalf("receiver stats = %+v, want mirror of sender's %+v", rst.Recv[0], st.Sent[1])
+	}
+}
+
+// TestMemBatchedEndpointDeterminism runs the same broadcast/flush sequence
+// twice over batched Mem endpoints: deliveries and stats must replay
+// identically, and the clean-hangup drain semantics must hold (Close
+// flushes the pending batch).
+func TestMemBatchedEndpointDeterminism(t *testing.T) {
+	run := func() ([]model.MsgID, Stats) {
+		m := NewMem(2)
+		ep := m.BatchedEndpoint(0, BatchPolicy{MaxFrames: 3}).(*memEndpoint)
+		for i := 1; i <= 7; i++ {
+			if err := ep.Broadcast(Frame{Kind: KindEffector, MID: model.MsgID(i), From: 0, Payload: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 7 frames at MaxFrames=3: two cap flushes, one frame left pending.
+		if got := m.PendingTo(1); got != 6 {
+			t.Fatalf("pending after caps = %d, want 6", got)
+		}
+		if err := ep.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.PendingTo(1); got != 7 {
+			t.Fatalf("pending after close drain = %d, want 7", got)
+		}
+		rx := m.Endpoint(1)
+		var mids []model.MsgID
+		for {
+			f, ok, err := rx.Recv(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			mids = append(mids, f.MID)
+		}
+		return mids, ep.Stats()
+	}
+	mids1, st1 := run()
+	mids2, st2 := run()
+	if fmt.Sprint(mids1) != fmt.Sprint(mids2) {
+		t.Fatalf("delivery order not reproducible: %v vs %v", mids1, mids2)
+	}
+	if len(mids1) != 7 {
+		t.Fatalf("delivered %d frames, want 7", len(mids1))
+	}
+	if st1.Flushes != st2.Flushes || st1.FramesQueued != st2.FramesQueued {
+		t.Fatalf("stats not reproducible: %+v vs %+v", st1, st2)
+	}
+	if st1.Flushes.Frames != 2 || st1.Flushes.Close != 1 {
+		t.Fatalf("flushes = %+v, want 2 cap + 1 close", st1.Flushes)
+	}
+	if st1.Sent[1].Frames != 7 || st1.Sent[1].Batches != 3 {
+		t.Fatalf("sent = %+v, want 7 frames in 3 batches", st1.Sent[1])
+	}
+}

@@ -1,0 +1,129 @@
+package transport_test
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// benchAddrs builds a two-node address table for the given network flavour:
+// unix sockets in a fresh temp dir, or TCP loopback ports grabbed by binding
+// and releasing ephemeral listeners.
+func benchAddrs(b *testing.B, network string) []string {
+	b.Helper()
+	addrs := make([]string, 2)
+	switch network {
+	case "unix":
+		dir := b.TempDir()
+		for i := range addrs {
+			addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+		}
+	case "tcp":
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs[i] = "tcp:" + ln.Addr().String()
+			ln.Close()
+		}
+	default:
+		b.Fatalf("unknown network %q", network)
+	}
+	return addrs
+}
+
+// BenchmarkStreamThroughput measures one-way frame throughput over a real
+// two-node socket mesh as the batch size and payload size sweep: node 0
+// broadcasts b.N effector frames under the given batch policy, node 1
+// receives them all. batch=1 is the unbatched baseline (one wire write per
+// frame); larger batches coalesce frames into one container per flush, so
+// the syscall cost amortises. ns/op is the per-frame cost end to end; the
+// frames/s metric is its inverse, which the CI perf gate tracks via
+// BENCH_transport.json.
+func BenchmarkStreamThroughput(b *testing.B) {
+	for _, network := range []string{"unix", "tcp"} {
+		for _, batch := range []int{1, 8, 32} {
+			for _, payload := range []int{64, 1024} {
+				name := fmt.Sprintf("%s/batch=%d/payload=%d", network, batch, payload)
+				b.Run(name, func(b *testing.B) {
+					benchStreamThroughput(b, network, batch, payload)
+				})
+			}
+		}
+	}
+}
+
+func benchStreamThroughput(b *testing.B, network string, batch, payload int) {
+	addrs := benchAddrs(b, network)
+	ends := make([]*transport.Stream, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		opts := []transport.StreamOption{transport.WithRecvTimeout(30 * time.Second)}
+		// No delay timer: the sender saturates the frame cap, and the final
+		// Flush drains the tail, so a timer would only add scheduler noise to
+		// the measurement.
+		if i == 0 && batch > 1 {
+			opts = append(opts, transport.WithBatching(transport.BatchPolicy{MaxFrames: batch}))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ends[i], errs[i] = transport.Listen(model.NodeID(i), addrs, opts...)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("listen %d: %v", i, err)
+		}
+	}
+	defer ends[0].Close()
+	defer ends[1].Close()
+
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for got := 0; got < b.N; {
+			_, ok, err := ends[1].Recv(true)
+			if err != nil {
+				done <- err
+				return
+			}
+			if !ok {
+				done <- fmt.Errorf("receiver drained after %d/%d frames", got, b.N)
+				return
+			}
+			got++
+		}
+		done <- nil
+	}()
+
+	b.SetBytes(int64(payload))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := transport.Frame{Kind: transport.KindEffector, MID: model.MsgID(i + 1), From: 0, Payload: body}
+		if err := ends[0].Broadcast(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ends[0].Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -97,4 +98,102 @@ func DecodeWire(b []byte) (Frame, error) {
 		return Frame{}, err
 	}
 	return Decode(inner)
+}
+
+// Batch container layout (what one flush of a batching stream ships, itself
+// length-prefixed on the wire):
+//
+//	uvarint count · count × (checksummed codec frame envelope)
+//
+// The container nests the per-frame envelopes EncodeWire produces, each with
+// its own length prefix and checksum. Boundaries come from the nested length
+// prefixes, so integrity is judged frame by frame: a corrupted nested frame
+// is rejected alone while the frames around it still decode.
+
+// AppendBatch appends the batch container holding frames to b.
+func AppendBatch(b []byte, frames []Frame) []byte {
+	b = codec.AppendUvarint(b, uint64(len(frames)))
+	for _, f := range frames {
+		b = codec.AppendFrame(b, f.Append(nil))
+	}
+	return b
+}
+
+// EncodeBatch renders frames as one batch container.
+func EncodeBatch(frames []Frame) []byte { return AppendBatch(nil, frames) }
+
+// BatchError reports nested frames of a structurally sound batch that failed
+// their own checksum or inner decoding. The surviving frames were decoded
+// and delivered; only the listed indices were rejected.
+type BatchError struct {
+	// Rejected holds the container indices of the frames that failed.
+	Rejected []int
+	// First is the first frame's decode error (wrapping codec.ErrCorrupt).
+	First error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("transport: batch rejected %d of its nested frames (first: %v)", len(e.Rejected), e.First)
+}
+
+func (e *BatchError) Unwrap() error { return e.First }
+
+// DecodeBatch parses one batch container. Each nested frame envelope is
+// verified independently: a frame whose checksum or inner encoding fails is
+// skipped and reported in a *BatchError, while the remaining frames are
+// returned in order. Structural corruption — a count or length prefix that
+// no longer locates the frame boundaries, or trailing bytes — fails with an
+// ordinary error wrapping codec.ErrCorrupt and voids the whole batch.
+func DecodeBatch(b []byte) ([]Frame, error) {
+	count, rest, err := codec.DecodeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: batch count: %v", codec.ErrCorrupt, err)
+	}
+	// Every nested envelope takes at least a length byte plus an 8-byte
+	// checksum, so a count beyond that bound is a mangled prefix, not a batch.
+	if count > uint64(len(rest)/9)+1 {
+		return nil, fmt.Errorf("%w: batch count %d exceeds what %d bytes can hold", codec.ErrCorrupt, count, len(rest))
+	}
+	frames := make([]Frame, 0, count)
+	var bad *BatchError
+	reject := func(i uint64, err error) {
+		if bad == nil {
+			bad = &BatchError{First: fmt.Errorf("batch frame %d of %d: %w", i, count, err)}
+		}
+		bad.Rejected = append(bad.Rejected, int(i))
+	}
+	for i := uint64(0); i < count; i++ {
+		var inner []byte
+		inner, rest, err = codec.DecodeBytes(rest)
+		if err != nil {
+			// The envelope length prefix would not parse: without it the next
+			// boundary is unknowable, so the rest of the batch is lost, not
+			// just this frame.
+			return frames, fmt.Errorf("%w: batch frame %d of %d: envelope: %v", codec.ErrCorrupt, i, count, err)
+		}
+		if len(rest) < 8 {
+			return frames, fmt.Errorf("%w: batch frame %d of %d: truncated checksum", codec.ErrCorrupt, i, count)
+		}
+		sum := binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		// From here the boundary is secured by the length prefix just
+		// consumed: checksum or inner-decode failures reject this frame only.
+		if sum != codec.Fingerprint(inner) {
+			reject(i, fmt.Errorf("%w: frame checksum mismatch", codec.ErrCorrupt))
+			continue
+		}
+		f, err := Decode(inner)
+		if err != nil {
+			reject(i, err)
+			continue
+		}
+		frames = append(frames, f)
+	}
+	if err := codec.Done(rest); err != nil {
+		return frames, fmt.Errorf("batch trailing bytes: %w", err)
+	}
+	if bad != nil {
+		return frames, bad
+	}
+	return frames, nil
 }

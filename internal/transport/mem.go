@@ -242,29 +242,97 @@ func (m *Mem) Clone() *Mem {
 // reproducibly. The view shares the network's clock and queues; a waiting
 // Recv advances the virtual clock to the next arrival instead of blocking.
 func (m *Mem) Endpoint(id model.NodeID) Transport {
+	return m.BatchedEndpoint(id, BatchPolicy{})
+}
+
+// BatchedEndpoint returns node id's view with a write-batching policy: the
+// same flush triggers and Stats accounting the socket Stream keeps, minus
+// the delay timer (Mem runs on a virtual clock, so a pending batch waits
+// for a cap or an explicit Flush). Flushed frames all arrive at the flush
+// tick, in broadcast order — fully deterministic, so batched executions
+// replay byte-for-byte like unbatched ones. Each call creates a fresh view
+// with its own pending batch and counters.
+func (m *Mem) BatchedEndpoint(id model.NodeID, p BatchPolicy) Transport {
 	if int(id) < 0 || int(id) >= m.n {
 		panic(fmt.Sprintf("transport: no such node %s", id))
 	}
-	return &memEndpoint{m: m, self: id}
+	e := &memEndpoint{m: m, self: id, policy: p.normalized()}
+	e.stats.Sent = make([]PeerIO, m.n)
+	e.stats.Recv = make([]PeerIO, m.n)
+	return e
 }
 
 type memEndpoint struct {
 	m    *Mem
 	self model.NodeID
+
+	policy    BatchPolicy
+	pend      []Frame
+	pendBytes int
+	stats     Stats
 }
 
 func (e *memEndpoint) Self() model.NodeID { return e.self }
 func (e *memEndpoint) N() int             { return e.m.n }
 
 func (e *memEndpoint) Broadcast(f Frame) error {
+	e.pend = append(e.pend, f)
+	// Byte accounting mirrors the socket wire: the nested checksummed
+	// envelope the frame would cost in a batch container.
+	e.pendBytes += len(EncodeWire(f))
+	e.stats.FramesQueued++
+	switch {
+	case len(e.pend) >= e.policy.MaxFrames:
+		return e.flush(trigFrames)
+	case e.policy.MaxBytes > 0 && e.pendBytes >= e.policy.MaxBytes:
+		return e.flush(trigBytes)
+	}
+	return nil
+}
+
+// flush queues every pending frame for every peer at the current tick, in
+// broadcast order.
+func (e *memEndpoint) flush(trigger int) error {
+	if len(e.pend) == 0 {
+		return nil
+	}
+	n, bytes := len(e.pend), e.pendBytes
+	for _, f := range e.pend {
+		for dst := 0; dst < e.m.n; dst++ {
+			if model.NodeID(dst) == e.self {
+				continue
+			}
+			e.m.Put(model.NodeID(dst), &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
+		}
+	}
+	e.pend = e.pend[:0]
+	e.pendBytes = 0
+	switch trigger {
+	case trigFrames:
+		e.stats.Flushes.Frames++
+	case trigBytes:
+		e.stats.Flushes.Bytes++
+	case trigExplicit:
+		e.stats.Flushes.Explicit++
+	case trigClose:
+		e.stats.Flushes.Close++
+	}
 	for dst := 0; dst < e.m.n; dst++ {
 		if model.NodeID(dst) == e.self {
 			continue
 		}
-		e.m.Put(model.NodeID(dst), &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
+		e.stats.Sent[dst].Frames += n
+		e.stats.Sent[dst].Batches++
+		e.stats.Sent[dst].Bytes += bytes
 	}
 	return nil
 }
+
+// Flush forces the pending batch into the network queues.
+func (e *memEndpoint) Flush() error { return e.flush(trigExplicit) }
+
+// Stats returns a snapshot of the endpoint's batching and IO counters.
+func (e *memEndpoint) Stats() Stats { return e.stats.clone() }
 
 func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
 	for {
@@ -280,6 +348,12 @@ func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
 		}
 		if best >= 0 {
 			q, _ := e.m.Take(e.self, best)
+			from := q.Frame.From
+			if int(from) >= 0 && int(from) < e.m.n {
+				e.stats.Recv[from].Frames++
+				e.stats.Recv[from].Batches++ // Mem delivers frame-at-a-time
+				e.stats.Recv[from].Bytes += len(q.Frame.Payload)
+			}
 			return q.Frame, true, nil
 		}
 		if !wait {
@@ -295,4 +369,6 @@ func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
 	}
 }
 
-func (e *memEndpoint) Close() error { return nil }
+// Close drains the pending batch into the network (the clean-hangup
+// semantics the socket transport has: no queued frame is lost).
+func (e *memEndpoint) Close() error { return e.flush(trigClose) }

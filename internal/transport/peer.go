@@ -133,12 +133,37 @@ func (p *Peer) visible() []model.MsgID {
 // Done announces that this peer has finished issuing operations, carrying
 // its effectful broadcast count so peers can detect quiescence. The frame
 // gets its own Lamport request ID — frame IDs must be globally unique
-// whatever the kind, and the count travels in the payload.
+// whatever the kind, and the count travels in the payload. Done flushes the
+// transport: nothing of this peer's history may linger in a pending batch
+// once completion is announced.
 func (p *Peer) Done() error {
-	return p.t.Broadcast(Frame{
+	if err := p.t.Broadcast(Frame{
 		Kind: KindDone, MID: p.nextMID(), From: p.t.Self(),
 		Payload: codec.AppendUvarint(nil, uint64(p.issued)),
-	})
+	}); err != nil {
+		return err
+	}
+	return p.Flush()
+}
+
+// Flush forces any broadcasts a batching transport still holds down to the
+// wire; on an unbatched transport it is a no-op. The replica layer flushes
+// whenever it is about to block on its peers, so any BatchPolicy — even one
+// with a generous delay — preserves liveness.
+func (p *Peer) Flush() error {
+	if fl, ok := p.t.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
+// TransportStats returns the transport's batching/IO counters when the
+// transport keeps them (the socket Stream and batched Mem endpoints do).
+func (p *Peer) TransportStats() (Stats, bool) {
+	if sr, ok := p.t.(StatsReporter); ok {
+		return sr.Stats(), true
+	}
+	return Stats{}, false
 }
 
 // Handle processes one received frame: dedup by request ID before the
@@ -254,8 +279,13 @@ func (p *Peer) Quiesced() bool {
 	return p.remote == want && len(p.held) == 0
 }
 
-// RunToQuiescence pumps the transport until Quiesced or the deadline.
+// RunToQuiescence pumps the transport until Quiesced or the deadline. Any
+// pending batch is flushed first — the peer is about to block on the
+// others, so holding its own broadcasts back could deadlock the mesh.
 func (p *Peer) RunToQuiescence(deadline time.Duration) error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
 	limit := time.Now().Add(deadline)
 	for !p.Quiesced() {
 		if time.Now().After(limit) {

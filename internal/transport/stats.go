@@ -1,0 +1,112 @@
+package transport
+
+import "time"
+
+// BatchPolicy configures write batching on a transport endpoint: queued
+// broadcasts coalesce into one batch container per flush instead of paying
+// one wire write per frame. A flush happens when any trigger fires:
+//
+//   - MaxFrames queued frames (≤1 disables batching: every frame flushes),
+//   - MaxBytes of pending nested envelopes (0 = no byte cap),
+//   - MaxDelay after the first frame of a pending batch was queued
+//     (0 = no timer; on the virtual-clock Mem transport the delay trigger
+//     does not apply and pending frames wait for a cap or explicit flush),
+//   - an explicit Flush, or the endpoint closing (Close drains the pending
+//     batch to the peers before hanging up, so no queued frame is lost).
+type BatchPolicy struct {
+	MaxFrames int
+	MaxBytes  int
+	MaxDelay  time.Duration
+}
+
+// normalized clamps the policy to its sane form.
+func (p BatchPolicy) normalized() BatchPolicy {
+	if p.MaxFrames < 1 {
+		p.MaxFrames = 1
+	}
+	return p
+}
+
+// batching reports whether the policy ever holds a frame back.
+func (p BatchPolicy) batching() bool {
+	return p.MaxFrames > 1 || p.MaxBytes > 0 || p.MaxDelay > 0
+}
+
+// FlushStats counts batch flushes by the trigger that fired them.
+type FlushStats struct {
+	// Frames: the frame cap; Bytes: the byte cap; Delay: the flush timer;
+	// Explicit: a Flush call; Close: the endpoint closing with frames
+	// pending.
+	Frames, Bytes, Delay, Explicit, Close int
+}
+
+// Total sums the flushes across triggers.
+func (f FlushStats) Total() int {
+	return f.Frames + f.Bytes + f.Delay + f.Explicit + f.Close
+}
+
+// PeerIO counts one direction of traffic with one peer.
+type PeerIO struct {
+	// Frames is the number of transport frames moved, Batches the number of
+	// batch containers they travelled in, Bytes the wire bytes (length
+	// prefix + container) they cost.
+	Frames, Batches, Bytes int
+}
+
+func (a PeerIO) add(b PeerIO) PeerIO {
+	return PeerIO{Frames: a.Frames + b.Frames, Batches: a.Batches + b.Batches, Bytes: a.Bytes + b.Bytes}
+}
+
+// Stats is a snapshot of one endpoint's batching and IO counters: what the
+// unix/TCP mesh (and the batched Mem endpoints mirroring it) did on the
+// wire, per peer.
+type Stats struct {
+	// FramesQueued counts frames accepted by Broadcast, flushed or still
+	// pending; FramesRejected counts nested frames received whose own
+	// checksum or encoding failed and whose delivery was rejected alone.
+	FramesQueued   int
+	FramesRejected int
+	// Flushes breaks the batch flushes down by trigger.
+	Flushes FlushStats
+	// Sent and Recv are indexed by peer node ID (the self entry stays
+	// zero): Sent what this endpoint wrote to that peer, Recv what it read.
+	Sent []PeerIO
+	Recv []PeerIO
+}
+
+// TotalSent sums the per-peer send counters.
+func (s Stats) TotalSent() PeerIO {
+	var t PeerIO
+	for _, p := range s.Sent {
+		t = t.add(p)
+	}
+	return t
+}
+
+// TotalRecv sums the per-peer receive counters.
+func (s Stats) TotalRecv() PeerIO {
+	var t PeerIO
+	for _, p := range s.Recv {
+		t = t.add(p)
+	}
+	return t
+}
+
+// clone deep-copies the snapshot so callers can keep it across updates.
+func (s Stats) clone() Stats {
+	s.Sent = append([]PeerIO(nil), s.Sent...)
+	s.Recv = append([]PeerIO(nil), s.Recv...)
+	return s
+}
+
+// Flusher is implemented by transports that batch writes: Flush forces any
+// pending broadcasts down to the wire. The replica layer flushes before it
+// blocks waiting for peers, which keeps pipelining live under any policy.
+type Flusher interface {
+	Flush() error
+}
+
+// StatsReporter is implemented by transports that keep batch/IO counters.
+type StatsReporter interface {
+	Stats() Stats
+}

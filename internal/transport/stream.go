@@ -22,10 +22,13 @@ import (
 // every lower-numbered peer and accepts the higher-numbered ones, so any
 // start order connects exactly once per pair.
 //
-// Wire format per frame: uvarint length, then the checksummed codec frame
-// envelope (codec.AppendFrame) around the inner frame encoding — identical
-// bytes to what EncodeWire produces and the in-memory chaos runs corrupt,
-// so a flipped bit on a real link is rejected by the same decoder path.
+// Wire format per flush: uvarint length, then a batch container (uvarint
+// count, then count nested checksummed codec frame envelopes — each the
+// bytes EncodeWire produces and the in-memory chaos runs corrupt, so a
+// flipped bit on a real link is rejected by the same decoder path). Without
+// batching every frame ships as a one-frame container; with a BatchPolicy
+// queued broadcasts coalesce so one syscall and one length prefix amortize
+// across the whole batch.
 type Stream struct {
 	self  model.NodeID
 	addrs []streamAddr
@@ -35,8 +38,18 @@ type Stream struct {
 	// the whole mesh setup (default 15s). Both are set via options.
 	recvTimeout time.Duration
 
-	mu    sync.Mutex // guards conns' write side
+	mu    sync.Mutex // guards conns' write side and the pending batch
 	conns []net.Conn // indexed by peer node ID; nil at self
+
+	// Pending batch: the concatenation of nested frame envelopes queued
+	// since the last flush, and the frame count. Guarded by mu.
+	policy     BatchPolicy
+	pend       []byte
+	pendN      int
+	flushTimer *time.Timer
+
+	statsMu sync.Mutex
+	stats   Stats
 
 	frames chan Frame
 	errs   chan error
@@ -83,9 +96,17 @@ func WithRecvTimeout(d time.Duration) StreamOption {
 	return func(s *Stream) { s.recvTimeout = d }
 }
 
+// WithBatching installs a write-batching policy: broadcasts queue and
+// coalesce into one batch container per flush (see BatchPolicy for the
+// flush triggers). The default policy flushes every frame immediately.
+func WithBatching(p BatchPolicy) StreamOption {
+	return func(s *Stream) { s.policy = p.normalized() }
+}
+
 // handshake magic: distinguishes a peer of this protocol from a stray
-// connection before trusting its node ID.
-var streamMagic = []byte("crdt-repl\x01")
+// connection before trusting its node ID. The trailing byte versions the
+// wire format; \x02 is the batch-container framing.
+var streamMagic = []byte("crdt-repl\x02")
 
 // Listen opens node self's endpoint of a replication group whose node i
 // listens on addrs[i] (each "unix:/path" or "tcp:host:port"). It blocks
@@ -102,12 +123,15 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 	s := &Stream{
 		self:        self,
 		recvTimeout: 30 * time.Second,
+		policy:      BatchPolicy{MaxFrames: 1},
 		conns:       make([]net.Conn, len(addrs)),
 		frames:      make(chan Frame, 64),
 		errs:        make(chan error, len(addrs)),
 		closed:      make(chan struct{}),
 		hungCh:      make(chan struct{}, len(addrs)),
 	}
+	s.stats.Sent = make([]PeerIO, len(addrs))
+	s.stats.Recv = make([]PeerIO, len(addrs))
 	for _, o := range opts {
 		o(s)
 	}
@@ -264,25 +288,38 @@ func (b oneByteReader) ReadByte() (byte, error) {
 	return p[0], err
 }
 
-// maxWireFrame bounds one frame read off a socket (defense against a
-// corrupted length prefix allocating unboundedly).
+// maxWireFrame bounds one batch container read off a socket (defense
+// against a corrupted length prefix allocating unboundedly).
 const maxWireFrame = 16 << 20
 
-// recvLoop reads frames from one peer connection into the shared channel.
+// recvLoop reads batch containers from one peer connection and feeds their
+// frames into the shared channel. A nested frame rejected by its own
+// checksum is dropped and counted (FramesRejected) while the rest of the
+// batch still delivers; structural corruption of the container ends the
+// connection with an error.
 func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 	defer s.wg.Done()
 	br := bufio.NewReader(c)
 	for {
 		n, err := binary.ReadUvarint(br)
 		if err == nil && n > maxWireFrame {
-			err = fmt.Errorf("%w: %d-byte wire frame exceeds the %d cap", codec.ErrCorrupt, n, maxWireFrame)
+			err = fmt.Errorf("%w: %d-byte batch container exceeds the %d cap", codec.ErrCorrupt, n, maxWireFrame)
 		}
-		var f Frame
+		var frames []Frame
 		if err == nil {
 			buf := make([]byte, n)
 			if _, err = io.ReadFull(br, buf); err == nil {
-				f, err = DecodeWire(buf)
+				frames, err = DecodeBatch(buf)
 			}
+		}
+		var bad *BatchError
+		if errors.As(err, &bad) {
+			// Only nested frames failed: deliver the survivors, count the
+			// rejections, keep the connection.
+			s.statsMu.Lock()
+			s.stats.FramesRejected += len(bad.Rejected)
+			s.statsMu.Unlock()
+			err = nil
 		}
 		if err != nil {
 			select {
@@ -301,12 +338,29 @@ func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 			}
 			return
 		}
-		select {
-		case s.frames <- f:
-		case <-s.closed:
-			return
+		s.statsMu.Lock()
+		s.stats.Recv[peer].Batches++
+		s.stats.Recv[peer].Frames += len(frames)
+		s.stats.Recv[peer].Bytes += uvarintLen(n) + int(n)
+		s.statsMu.Unlock()
+		for _, f := range frames {
+			select {
+			case s.frames <- f:
+			case <-s.closed:
+				return
+			}
 		}
 	}
+}
+
+// uvarintLen returns the encoded size of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 // Self returns this endpoint's node ID.
@@ -315,18 +369,95 @@ func (s *Stream) Self() model.NodeID { return s.self }
 // N returns the replication group size.
 func (s *Stream) N() int { return len(s.addrs) }
 
-// Broadcast ships one frame to every peer. The frame is encoded once; each
-// connection write is length-prefixed and serialized under the write lock.
+// Broadcast queues one frame for every peer. The frame is encoded once into
+// the pending batch; the batch flushes when a policy trigger fires (frame
+// cap, byte cap, delay timer, explicit Flush, or Close). With the default
+// policy the frame flushes immediately, one container per frame.
 func (s *Stream) Broadcast(f Frame) error {
 	select {
 	case <-s.closed:
 		return ErrClosed
 	default:
 	}
-	wire := EncodeWire(f)
-	buf := append(binary.AppendUvarint(make([]byte, 0, len(wire)+binary.MaxVarintLen64), uint64(len(wire))), wire...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Never let a batch outgrow what a receiver accepts: flush what is
+	// pending before a jumbo frame (a large snapshot) would burst the cap.
+	env := codec.AppendFrame(nil, f.Append(nil))
+	if s.pendN > 0 && len(s.pend)+len(env) > maxWireFrame-binary.MaxVarintLen64 {
+		if err := s.flushLocked(trigBytes); err != nil {
+			return err
+		}
+	}
+	s.pend = append(s.pend, env...)
+	s.pendN++
+	s.statsMu.Lock()
+	s.stats.FramesQueued++
+	s.statsMu.Unlock()
+	switch {
+	case s.pendN >= s.policy.MaxFrames:
+		return s.flushLocked(trigFrames)
+	case s.policy.MaxBytes > 0 && len(s.pend) >= s.policy.MaxBytes:
+		return s.flushLocked(trigBytes)
+	case s.pendN == 1 && s.policy.MaxDelay > 0:
+		// First frame of a fresh batch: arm the flush timer. The callback
+		// re-checks under the lock — a cap-triggered flush in between leaves
+		// it nothing to do.
+		s.flushTimer = time.AfterFunc(s.policy.MaxDelay, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if s.pendN > 0 {
+				s.flushLocked(trigDelay)
+			}
+		})
+	}
+	return nil
+}
+
+// Flush triggers. trigClose doubles as the hangup drain: Close flushes the
+// pending batch before the connections go down.
+const (
+	trigFrames = iota
+	trigBytes
+	trigDelay
+	trigExplicit
+	trigClose
+)
+
+// flushLocked writes the pending batch as one length-prefixed container to
+// every peer connection. Called with mu held.
+func (s *Stream) flushLocked(trigger int) error {
+	if s.pendN == 0 {
+		return nil
+	}
+	if s.flushTimer != nil {
+		s.flushTimer.Stop()
+		s.flushTimer = nil
+	}
+	body := append(codec.AppendUvarint(make([]byte, 0, len(s.pend)+2*binary.MaxVarintLen64), uint64(s.pendN)), s.pend...)
+	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
+	n := s.pendN
+	s.pend = s.pend[:0]
+	s.pendN = 0
+	s.statsMu.Lock()
+	switch trigger {
+	case trigFrames:
+		s.stats.Flushes.Frames++
+	case trigBytes:
+		s.stats.Flushes.Bytes++
+	case trigDelay:
+		s.stats.Flushes.Delay++
+	case trigExplicit:
+		s.stats.Flushes.Explicit++
+	case trigClose:
+		s.stats.Flushes.Close++
+	}
+	s.statsMu.Unlock()
 	for peer, c := range s.conns {
 		if c == nil {
 			continue
@@ -334,8 +465,32 @@ func (s *Stream) Broadcast(f Frame) error {
 		if _, err := c.Write(buf); err != nil {
 			return fmt.Errorf("transport: sending to node %d: %w", peer, err)
 		}
+		s.statsMu.Lock()
+		s.stats.Sent[peer].Frames += n
+		s.stats.Sent[peer].Batches++
+		s.stats.Sent[peer].Bytes += len(buf)
+		s.statsMu.Unlock()
 	}
 	return nil
+}
+
+// Flush forces the pending batch down to every peer.
+func (s *Stream) Flush() error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(trigExplicit)
+}
+
+// Stats returns a snapshot of the endpoint's batching and IO counters.
+func (s *Stream) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats.clone()
 }
 
 // Recv returns the next frame received from any peer. Buffered frames are
@@ -388,10 +543,19 @@ func (s *Stream) Recv(wait bool) (Frame, bool, error) {
 	}
 }
 
-// Close tears the endpoint down: the listener and every peer connection are
-// closed and the receive loops drained.
+// Close tears the endpoint down: a partially filled batch is flushed to the
+// peers first (the clean-hangup drain — peers receive every queued frame
+// before the EOF), then the listener and every peer connection are closed
+// and the receive loops drained.
 func (s *Stream) Close() error {
 	s.once.Do(func() {
+		s.mu.Lock()
+		s.flushLocked(trigClose)
+		if s.flushTimer != nil {
+			s.flushTimer.Stop()
+			s.flushTimer = nil
+		}
+		s.mu.Unlock()
 		close(s.closed)
 		if s.ln != nil {
 			s.ln.Close()

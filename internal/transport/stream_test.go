@@ -36,9 +36,10 @@ func unixAddrs(t *testing.T, n int) []string {
 }
 
 // runStreamPeer opens node id's endpoint, replicates its share of the
-// script, and returns the canonical state at quiescence.
-func runStreamPeer(alg registry.Algorithm, id model.NodeID, addrs []string, script sim.Script) ([]byte, error) {
-	st, err := transport.Listen(id, addrs, transport.WithRecvTimeout(10*time.Second))
+// script, and returns the canonical state at quiescence. Extra options (a
+// batching policy, say) are applied on top of the receive timeout.
+func runStreamPeer(alg registry.Algorithm, id model.NodeID, addrs []string, script sim.Script, opts ...transport.StreamOption) ([]byte, error) {
+	st, err := transport.Listen(id, addrs, append([]transport.StreamOption{transport.WithRecvTimeout(10 * time.Second)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +87,48 @@ func TestStreamMeshConverges(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			results[i], errs[i] = runStreamPeer(alg, model.NodeID(i), addrs, script)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("peer %d's canonical state differs from peer 0's", i)
+		}
+	}
+}
+
+// TestStreamMeshConvergesBatched reruns the unix mesh with a different batch
+// policy on every peer — a frame cap, a byte cap with a delay, and no
+// batching at all — and still demands byte-identical convergence: the
+// batching layer is pure wire plumbing and must never change replication
+// semantics.
+func TestStreamMeshConvergesBatched(t *testing.T) {
+	alg, ok := registry.ByName("aw-set")
+	if !ok {
+		t.Fatal("aw-set not registered")
+	}
+	const n = 3
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), n, 12, 7, alg.NeedsCausal)
+	addrs := unixAddrs(t, n)
+	policies := [n][]transport.StreamOption{
+		{transport.WithBatching(transport.BatchPolicy{MaxFrames: 8, MaxDelay: 5 * time.Millisecond})},
+		{transport.WithBatching(transport.BatchPolicy{MaxBytes: 256, MaxDelay: 2 * time.Millisecond})},
+		{}, // unbatched leg
+	}
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = runStreamPeer(alg, model.NodeID(i), addrs, script, policies[i]...)
 		}()
 	}
 	wg.Wait()
@@ -191,12 +234,40 @@ func TestStreamAddrValidation(t *testing.T) {
 
 const (
 	peerHelperEnv   = "CRDT_STREAM_PEER_HELPER"
+	peerHelperBatch = "CRDT_STREAM_PEER_BATCH"
 	peerHelperMark  = "CANONICAL-STATE "
 	peerHelperAlg   = "rga"
 	peerHelperOps   = 14
 	peerHelperSeed  = 21
 	peerHelperNodes = 2
 )
+
+// helperBatchOpts turns the optional CRDT_STREAM_PEER_BATCH env value
+// ("maxFrames,maxBytes,maxDelay", e.g. "8,0,5ms") into stream options.
+func helperBatchOpts(cfg string) ([]transport.StreamOption, error) {
+	if cfg == "" {
+		return nil, nil
+	}
+	parts := strings.Split(cfg, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad batch config %q: want maxFrames,maxBytes,maxDelay", cfg)
+	}
+	frames, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad batch frame cap %q: %v", parts[0], err)
+	}
+	bytes, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad batch byte cap %q: %v", parts[1], err)
+	}
+	delay, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad batch delay %q: %v", parts[2], err)
+	}
+	return []transport.StreamOption{transport.WithBatching(transport.BatchPolicy{
+		MaxFrames: frames, MaxBytes: bytes, MaxDelay: delay,
+	})}, nil
+}
 
 // TestStreamTwoProcessHelper is not a test on its own: re-executed as a
 // child process by TestStreamTwoOSProcessesConverge, it runs one socket peer
@@ -216,25 +287,26 @@ func TestStreamTwoProcessHelper(t *testing.T) {
 	if !ok {
 		t.Fatalf("%s not registered", peerHelperAlg)
 	}
+	opts, err := helperBatchOpts(os.Getenv(peerHelperBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Both processes generate the identical script from the fixed seed and
 	// invoke only their own node's share — no coordination beyond the socket.
 	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp),
 		peerHelperNodes, peerHelperOps, peerHelperSeed, alg.NeedsCausal)
-	state, err := runStreamPeer(alg, model.NodeID(id), addrs, script)
+	state, err := runStreamPeer(alg, model.NodeID(id), addrs, script, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fmt.Println(peerHelperMark + hex.EncodeToString(state))
 }
 
-// TestStreamTwoOSProcessesConverge is the cross-process acceptance check:
-// two real OS processes (re-executions of this test binary) replicate an RGA
-// over a unix socket using the registry's decoders and must print the
-// byte-identical canonical state.
-func TestStreamTwoOSProcessesConverge(t *testing.T) {
-	if os.Getenv(peerHelperEnv) != "" {
-		t.Skip("already inside a helper child")
-	}
+// runTwoProcessLeg re-executes the test binary twice as socket peers (with
+// batchCfg exported to both children when non-empty) and returns the hex
+// canonical state each child printed.
+func runTwoProcessLeg(t *testing.T, batchCfg string) []string {
+	t.Helper()
 	bin, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
@@ -254,7 +326,8 @@ func TestStreamTwoOSProcessesConverge(t *testing.T) {
 			defer wg.Done()
 			cmd := exec.Command(bin, "-test.run", "TestStreamTwoProcessHelper$", "-test.v")
 			cmd.Env = append(os.Environ(),
-				fmt.Sprintf("%s=%d;%s", peerHelperEnv, i, strings.Join(addrs, ",")))
+				fmt.Sprintf("%s=%d;%s", peerHelperEnv, i, strings.Join(addrs, ",")),
+				fmt.Sprintf("%s=%s", peerHelperBatch, batchCfg))
 			out, err := cmd.CombinedOutput()
 			if err != nil {
 				errCh <- fmt.Errorf("child %d: %v\n%s", i, err, out)
@@ -280,13 +353,34 @@ func TestStreamTwoOSProcessesConverge(t *testing.T) {
 			t.Fatalf("child %d printed no canonical state:\n%s", i, out)
 		}
 	}
-	if states[0] != states[1] {
-		t.Fatalf("processes diverged:\n p0: %s\n p1: %s", states[0], states[1])
+	return states
+}
+
+// TestStreamTwoOSProcessesConverge is the cross-process acceptance check:
+// two real OS processes (re-executions of this test binary) replicate an RGA
+// over a unix socket using the registry's decoders and must print the
+// byte-identical canonical state — once unbatched and once with write
+// batching enabled on both ends.
+func TestStreamTwoOSProcessesConverge(t *testing.T) {
+	if os.Getenv(peerHelperEnv) != "" {
+		t.Skip("already inside a helper child")
 	}
-	if len(states[0]) == 0 {
-		t.Fatal("empty canonical state")
+	for _, leg := range []struct{ name, batch string }{
+		{"unbatched", ""},
+		{"batched", "8,0,5ms"},
+	} {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			states := runTwoProcessLeg(t, leg.batch)
+			if states[0] != states[1] {
+				t.Fatalf("processes diverged:\n p0: %s\n p1: %s", states[0], states[1])
+			}
+			if len(states[0]) == 0 {
+				t.Fatal("empty canonical state")
+			}
+			t.Logf("both processes converged to canonical state %s…", states[0][:min(16, len(states[0]))])
+		})
 	}
-	t.Logf("both processes converged to canonical state %s…", states[0][:min(16, len(states[0]))])
 }
 
 func min(a, b int) int {
