@@ -41,6 +41,21 @@
 //
 //	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -batch-frames 8 -flush-every 5ms ...
 //
+// A socket mesh also supports late joiners with snapshot catch-up: early
+// processes name the nodes that will arrive late (-late-peers) and keep their
+// broadcast logs compacted (-snapshot-every N truncates up to the frontier
+// every connected peer has acknowledged); a late process passes -catch-up and
+// is served the stable checkpoint plus the retained log suffix instead of
+// replaying the full history:
+//
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock,/tmp/c.sock -node 0 -late-peers 2 -snapshot-every 4 -algo counter -ops 18 -seed 7 &
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock,/tmp/c.sock -node 1 -late-peers 2 -snapshot-every 4 -algo counter -ops 18 -seed 7 &
+//	sleep 1
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock,/tmp/c.sock -node 2 -catch-up -algo counter -ops 18 -seed 7
+//
+// All three print the byte-identical canonical state, and the early nodes'
+// snapshot stats show the log stayed bounded.
+//
 // Chaos fault injection needs the deterministic in-memory transport and
 // refuses to combine with sockets.
 package main
@@ -51,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,11 +95,14 @@ func main() {
 		dup     = flag.Float64("dup", -1, "chaos mode: override plan link duplication probability (-1 = from plan)")
 		delay   = flag.Int("delay", -1, "chaos mode: override plan reorder window in ticks (-1 = from plan)")
 		corrupt = flag.Float64("corrupt", -1, "chaos mode: override plan payload-corruption probability (-1 = from plan)")
-		snap    = flag.Int("snapshot-every", 0, "chaos mode: checkpoint the stable frontier every N replication events and truncate the broadcast log (0 = off)")
+		snap    = flag.Int("snapshot-every", 0, "chaos mode: checkpoint the stable frontier every N replication events and truncate the broadcast log; socket transports: compact the peer's broadcast log every N applied frames (0 = off)")
 
 		trans = flag.String("transport", "mem", "transport: mem (deterministic in-process simulation), unix or tcp (this process is one node of a socket mesh)")
 		node  = flag.Int("node", 0, "socket transports: this process's node id (an index into -addrs)")
 		addrs = flag.String("addrs", "", "socket transports: comma-separated full-mesh address table, one entry per node (unix: socket paths, tcp: host:port)")
+
+		latePeers = flag.String("late-peers", "", "socket transports: comma-separated node ids that will join late; this peer admits them anytime and serves snapshot catch-up")
+		catchUp   = flag.Bool("catch-up", false, "socket transports: this process joins an already-running mesh late and catches up via the snapshot protocol before playing its share")
 
 		batchFrames = flag.Int("batch-frames", 0, "socket transports: coalesce up to N queued broadcasts into one wire write (0 = unbatched)")
 		batchBytes  = flag.Int("batch-bytes", 0, "socket transports: flush the pending batch once it reaches B bytes of nested frames (0 = no byte cap)")
@@ -113,17 +132,24 @@ func main() {
 		if *batchFrames != 0 || *batchBytes != 0 || *flushEvery != 0 {
 			fail("write batching applies to socket transports: pass -transport unix or -transport tcp")
 		}
+		if *latePeers != "" || *catchUp {
+			fail("-late-peers and -catch-up apply to socket transports: pass -transport unix or -transport tcp")
+		}
 	case "unix", "tcp":
 		if *chaos {
 			fail("chaos fault injection needs the deterministic in-memory transport: drop -chaos or use -transport mem")
 		}
-		if *snap > 0 {
-			fail("-snapshot-every applies to the simulated cluster: use -transport mem with -chaos")
-		}
 		if *addrs == "" {
 			fail("-transport %s needs -addrs with one %s address per node", *trans, *trans)
 		}
-		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy))
+		if *catchUp && *latePeers != "" {
+			fail("-catch-up and -late-peers are mutually exclusive: a late joiner cannot admit further late peers")
+		}
+		late, err := parseLatePeers(*latePeers)
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, *snap, late, *catchUp))
 	default:
 		fail("unknown transport %q (have: mem, unix, tcp)", *trans)
 	}
@@ -136,11 +162,31 @@ func main() {
 	os.Exit(runRandom(alg, *nodes, *steps, *seeds, *drop, *verb))
 }
 
+// parseLatePeers turns the -late-peers flag value into node ids.
+func parseLatePeers(s string) ([]model.NodeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []model.NodeID
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-late-peers entry %q is not a node id", part)
+		}
+		out = append(out, model.NodeID(n))
+	}
+	return out, nil
+}
+
 // runPeer runs one node of a socket mesh: it generates the shared script
 // from the seed, plays its own share over the stream transport (batching
 // writes per the policy), and prints the canonical state every process must
-// agree on byte-for-byte plus the transport's batching stats.
-func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy) int {
+// agree on byte-for-byte plus the transport's batching stats. With late
+// joiners declared (or as a -catch-up joiner itself) it runs the snapshot
+// protocol: early peers serve checkpoint-plus-suffix responses and compact
+// their logs every snapEvery applied frames; the joiner installs the first
+// response before playing its share.
+func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, snapEvery int, late []model.NodeID, catchUp bool) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -154,14 +200,37 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 		full[i] = network + ":" + strings.TrimSpace(a)
 	}
 	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), len(addrList), ops, seed, alg.NeedsCausal)
-	st, err := transport.Listen(model.NodeID(node), full,
-		transport.WithRecvTimeout(30*time.Second), transport.WithBatching(policy))
+	sopts := []transport.StreamOption{transport.WithRecvTimeout(30 * time.Second), transport.WithBatching(policy)}
+	switch {
+	case catchUp:
+		sopts = append(sopts, transport.AsLateJoiner())
+	case len(late) > 0:
+		sopts = append(sopts, transport.WithLateJoiners(late...))
+	}
+	st, err := transport.Listen(model.NodeID(node), full, sopts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
 		return 1
 	}
 	defer st.Close()
-	p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal)
+	var popts []transport.PeerOption
+	if !catchUp && (snapEvery > 0 || len(late) > 0) {
+		popts = append(popts, transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: snapEvery}))
+	}
+	if catchUp {
+		popts = append(popts, transport.WithCatchUp(alg.DecodeState))
+	}
+	p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal, popts...)
+	if catchUp {
+		if err := p.CatchUp(); err != nil {
+			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+			return 1
+		}
+		if err := p.AwaitCatchUp(60 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: catch-up: %v\n", node, err)
+			return 1
+		}
+	}
 	for _, so := range script {
 		if so.Node != model.NodeID(node) {
 			continue
@@ -191,6 +260,12 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 		fmt.Printf("node %d: transport sent %d frames in %d batches (%d B), received %d frames in %d batches (%d B), flushes frames=%d bytes=%d delay=%d explicit=%d close=%d\n",
 			node, sent.Frames, sent.Batches, sent.Bytes, recv.Frames, recv.Batches, recv.Bytes,
 			ts.Flushes.Frames, ts.Flushes.Bytes, ts.Flushes.Delay, ts.Flushes.Explicit, ts.Flushes.Close)
+	}
+	if catchUp || snapEvery > 0 || len(late) > 0 {
+		ss := p.SnapshotStats()
+		fmt.Printf("node %d: snapshots: checkpoints=%d truncated=%d retained=%d served=%d installed=%t covered=%d suffix=%d fellback=%t\n",
+			node, ss.Checkpoints, ss.LogTruncated, ss.LogRetained, ss.Served,
+			ss.Installed, ss.InstallCovered, ss.InstallSuffix, ss.FellBack)
 	}
 	fmt.Printf("node %d: canonical state %s\n", node, hex.EncodeToString(p.CanonicalState()))
 	return 0

@@ -22,11 +22,16 @@
 //     write-batching endpoints (mixed flush policies per node) reaches
 //     byte-identical canonical states, replays deterministically, and keeps
 //     balanced batch accounting;
-//  9. codec round-trip: every op, return value, effector and replica state
+//  9. socket snapshot catch-up: on a live three-peer unix-socket mesh, a
+//     late joiner served through the transport's snapshot protocol (stable
+//     checkpoint + retained log suffix) reaches canonical states
+//     byte-identical to a full-log-replay join, deterministically on rerun,
+//     and the compacting run provably truncated its broadcast logs;
+//  10. codec round-trip: every op, return value, effector and replica state
 //     reached by drained runs survives decode(encode(x)) == x through the
 //     canonical binary codec, and converged replicas encode byte-equal
 //     (the canonical-form guarantee);
-//  10. contextual refinement on a client program (the Abstraction Theorem's
+//  11. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -37,8 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -188,6 +196,12 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// runs replay deterministically, and the batch accounting balances —
 	// batching is wire plumbing and must never change replication semantics.
 	add("batched transport convergence", batchedChecks(alg, cfg))
+
+	// 6d. Socket snapshot catch-up: the transport-layer state-transfer
+	// counterpart of 6b, on real unix sockets — a late joiner admitted into a
+	// live mesh catches up through a served checkpoint plus retained suffix,
+	// and must be indistinguishable from one that replayed the full log.
+	add("socket snapshot catch-up", socketSnapshotChecks(alg, cfg))
 
 	// 7. Codec round-trip: the canonical binary encoding is lossless and
 	// canonical on everything drained runs reach — ops, return values,
@@ -621,6 +635,205 @@ func batchedChecks(alg registry.Algorithm, cfg Config) error {
 		if !reflect.DeepEqual(stats, stats2) {
 			return fmt.Errorf("seed %d: batched run is not deterministic — transport stats differ on rerun", seed)
 		}
+	}
+	return nil
+}
+
+// socketSnapshotChecks runs the socket snapshot catch-up battery item: two
+// peers of a three-node unix-socket mesh replicate their script share,
+// exchange Dones (running their final pre-join compaction), and only then is
+// the third peer admitted — a late joiner that catches up through the
+// transport's snapshot protocol before replicating its own share. The mesh
+// runs three times: compacting (SnapshotPolicy Every=3, so the joiner is
+// served a stable checkpoint plus the retained suffix), full-replay (Every=0,
+// the whole log ships as suffix), and the compacting leg again. All runs must
+// reach one byte-identical canonical state on every peer: state transfer is
+// observationally equivalent to full log replay, deterministically so.
+//
+// The cross-leg comparison is sound because every peer invokes its whole
+// share before making any receive progress: each effector then depends only
+// on its node's own prior ops, so all legs generate the identical effector
+// set and the converged canonical encodings must match byte for byte.
+//
+// Compaction assertions are gated on each early peer having issued at least
+// one effectful frame: connection FIFO puts a peer's effectors before its
+// Done, so the Done-triggered compaction at the other early peer then always
+// finds them acknowledged and truncates — and both served checkpoints are
+// non-empty, so the joiner installs covered frames whichever peer answers
+// first.
+func socketSnapshotChecks(alg registry.Algorithm, cfg Config) error {
+	if alg.DecodeState == nil {
+		return fmt.Errorf("algorithm bundle registers no state decoder")
+	}
+	const nodes = 3
+	ops := cfg.Steps / 4
+	if ops < 6 {
+		ops = 6
+	}
+	if ops > 12 {
+		ops = 12
+	}
+	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, ops, 5, alg.NeedsCausal)
+	joiner := model.NodeID(nodes - 1)
+
+	run := func(every int) (states [][]byte, stats []transport.SnapStats, issued []int, err error) {
+		dir, err := os.MkdirTemp("", "crdt-snap-*")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		addrs := make([]string, nodes)
+		for i := range addrs {
+			addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+		}
+		states = make([][]byte, nodes)
+		stats = make([]transport.SnapStats, nodes)
+		issued = make([]int, nodes)
+		errs := make([]error, nodes)
+		// Each early peer reports in once before the join — nil after its
+		// pre-join compaction, or its failure, which aborts the join instead
+		// of deadlocking it. The buffer leaves room for a second, post-join
+		// failure report per peer.
+		ready := make(chan error, 2*(nodes-1))
+		var wg sync.WaitGroup
+		early := func(id model.NodeID) {
+			defer wg.Done()
+			reported := false
+			err := func() error {
+				st, err := transport.Listen(id, addrs,
+					transport.WithRecvTimeout(5*time.Second), transport.WithLateJoiners(joiner))
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+					transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: every}))
+				for _, so := range script {
+					if so.Node != id {
+						continue
+					}
+					if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						return err
+					}
+				}
+				if err := p.Done(); err != nil {
+					return err
+				}
+				// Hold the join until this peer has the other early peer's
+				// Done: its final pre-join compaction has run by then.
+				for p.DonePeers() < 1 {
+					if _, err := p.Step(true); err != nil {
+						return err
+					}
+				}
+				reported = true
+				ready <- nil
+				if err := p.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				states[id] = p.CanonicalState()
+				stats[id] = p.SnapshotStats()
+				issued[id] = p.Issued()
+				return nil
+			}()
+			if err != nil {
+				errs[id] = err
+				if !reported {
+					ready <- err
+				}
+			}
+		}
+		wg.Add(nodes)
+		for i := 0; i < int(joiner); i++ {
+			go early(model.NodeID(i))
+		}
+		go func() {
+			defer wg.Done()
+			errs[joiner] = func() error {
+				for i := 0; i < nodes-1; i++ {
+					if err := <-ready; err != nil {
+						return fmt.Errorf("early peer failed before the join: %w", err)
+					}
+				}
+				st, err := transport.Listen(joiner, addrs,
+					transport.WithRecvTimeout(5*time.Second), transport.AsLateJoiner())
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+					transport.WithCatchUp(alg.DecodeState))
+				if err := p.CatchUp(); err != nil {
+					return err
+				}
+				if err := p.AwaitCatchUp(10 * time.Second); err != nil {
+					return err
+				}
+				for _, so := range script {
+					if so.Node != joiner {
+						continue
+					}
+					if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						return err
+					}
+				}
+				if err := p.Done(); err != nil {
+					return err
+				}
+				if err := p.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				states[joiner] = p.CanonicalState()
+				stats[joiner] = p.SnapshotStats()
+				issued[joiner] = p.Issued()
+				return nil
+			}()
+		}()
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("peer %d: %w", id, err)
+			}
+		}
+		for id, s := range states {
+			if !bytes.Equal(s, states[0]) {
+				return nil, nil, nil, fmt.Errorf("peer %d's canonical state differs from peer 0's", id)
+			}
+		}
+		return states, stats, issued, nil
+	}
+
+	base, _, _, err := run(0)
+	if err != nil {
+		return fmt.Errorf("full-replay leg: %w", err)
+	}
+	snap, stats, issued, err := run(3)
+	if err != nil {
+		return fmt.Errorf("compacting leg: %w", err)
+	}
+	if !bytes.Equal(snap[0], base[0]) {
+		return fmt.Errorf("snapshot catch-up and full log replay converged to different canonical states")
+	}
+	js := stats[joiner]
+	if !js.Installed || js.FellBack {
+		return fmt.Errorf("joiner never installed a snapshot response: %+v", js)
+	}
+	if issued[0] > 0 && issued[1] > 0 {
+		if js.InstallCovered == 0 {
+			return fmt.Errorf("compacting leg installed no covered frames: %+v", js)
+		}
+		for id := 0; id < nodes-1; id++ {
+			if es := stats[id]; es.Checkpoints == 0 || es.LogTruncated == 0 {
+				return fmt.Errorf("early peer %d never compacted its log: %+v", id, es)
+			}
+		}
+	}
+	rerun, _, _, err := run(3)
+	if err != nil {
+		return fmt.Errorf("compacting rerun: %w", err)
+	}
+	if !bytes.Equal(rerun[0], snap[0]) {
+		return fmt.Errorf("compacting leg is not deterministic: rerun converged to a different canonical state")
 	}
 	return nil
 }

@@ -27,11 +27,7 @@ func (c *Cluster) Clone() *Cluster {
 	cp.msglog = append([]*message(nil), c.msglog...)
 	cp.recov = append([]RecoveryNote(nil), c.recov...)
 	if c.snap != nil {
-		ns := &snapshot{state: c.snap.state, covered: make(map[model.MsgID]bool, len(c.snap.covered)), wire: c.snap.wire}
-		for k := range c.snap.covered {
-			ns.covered[k] = true
-		}
-		cp.snap = ns
+		cp.snap = &snapshot{ck: c.snap.ck.Clone(), wire: c.snap.wire}
 	}
 	for _, a := range c.applied {
 		na := make(map[model.MsgID]bool, len(a))

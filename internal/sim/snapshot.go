@@ -2,12 +2,12 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/codec"
 	"repro/internal/crdt"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // This file holds the snapshot checkpoint layer on the cluster's durable
@@ -31,14 +31,14 @@ import (
 // happens-before, so it is a legal schedule and (by convergence) equals any
 // replica that applied the same set.
 
-// snapshot is the current checkpoint: the shadow state covering exactly the
-// covered broadcast set, plus its encoded wire form (a checksummed codec
-// frame around the canonical state encoding — the bytes a real system would
-// ship to a joining replica, and what resyncFresh decodes back).
+// snapshot is the current checkpoint: the transport-layer shadow replica
+// (shared with the socket peers' compaction — one Checkpoint implementation,
+// two users), plus its encoded wire form (a checksummed codec frame around
+// the canonical state encoding — the bytes a real system would ship to a
+// joining replica, and what resyncFresh decodes back).
 type snapshot struct {
-	state   crdt.State
-	covered map[model.MsgID]bool
-	wire    []byte
+	ck   *transport.Checkpoint
+	wire []byte
 }
 
 // WithSnapshots enables snapshot checkpoints: after every `every` appends to
@@ -70,7 +70,7 @@ func (c *Cluster) SnapshotCovered() int {
 	if c.snap == nil {
 		return 0
 	}
-	return len(c.snap.covered)
+	return len(c.snap.ck.Covered)
 }
 
 // appendLog records one broadcast in the durable log and counts toward the
@@ -109,7 +109,7 @@ func (c *Cluster) checkpoint() {
 	}
 	var fresh []model.MsgID
 	for mid := range c.applied[smallest] {
-		if c.snap != nil && c.snap.covered[mid] {
+		if c.snap != nil && c.snap.ck.Covered[mid] {
 			continue
 		}
 		everywhere := true
@@ -126,30 +126,31 @@ func (c *Cluster) checkpoint() {
 	if len(fresh) == 0 {
 		return
 	}
-	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
 	if c.snap == nil {
-		c.snap = &snapshot{state: c.obj.Init(), covered: map[model.MsgID]bool{}}
+		c.snap = &snapshot{ck: transport.NewCheckpoint(c.obj.Init())}
 	}
-	// Apply the newly stable broadcasts to the shadow state in MsgID order
-	// (consistent with happens-before, hence a legal schedule). Every one of
-	// them is still in the retained log: only covered entries get truncated.
-	byMID := make(map[model.MsgID]*message, len(fresh))
+	// Fold the newly stable broadcasts into the shadow replica (the shared
+	// transport.Checkpoint applies them in MsgID order — consistent with
+	// happens-before, hence a legal schedule). Every one of them is still in
+	// the retained log: only covered entries get truncated.
+	byMID := make(map[model.MsgID]*message, len(c.msglog))
 	for _, m := range c.msglog {
 		byMID[m.mid] = m
 	}
-	for _, mid := range fresh {
+	if err := c.snap.ck.Advance(fresh, func(mid model.MsgID) (crdt.Effector, bool) {
 		m, ok := byMID[mid]
 		if !ok {
-			panic(fmt.Sprintf("sim: stable broadcast %s missing from the retained log", mid))
+			return nil, false
 		}
-		c.snap.state = m.eff.Apply(c.snap.state)
-		c.snap.covered[mid] = true
+		return m.eff, true
+	}); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
 	}
-	c.snap.wire = codec.AppendFrame(nil, c.snap.state.AppendBinary(nil))
+	c.snap.wire = codec.AppendFrame(nil, c.snap.ck.State.AppendBinary(nil))
 	retained := c.msglog[:0]
 	truncated := 0
 	for _, m := range c.msglog {
-		if c.snap.covered[m.mid] {
+		if c.snap.ck.Covered[m.mid] {
 			truncated++
 			continue
 		}
@@ -220,7 +221,7 @@ func (c *Cluster) resyncFresh(t model.NodeID) error {
 		if err != nil {
 			return fmt.Errorf("sim: resync %s: snapshot does not decode with the registered state decoder: %v", t, err)
 		}
-		// The snapshot covers exactly snap.covered, all of which node t had
+		// The snapshot covers exactly the checkpoint's covered set, all of which node t had
 		// applied before the crash (covered ⊆ every applied set — the
 		// truncation invariant). Replace the state and re-apply the whole
 		// retained suffix: entries t had applied are part of neither the

@@ -39,7 +39,7 @@ func Decode(b []byte) (Frame, error) {
 		return f, fmt.Errorf("%w: empty frame", codec.ErrCorrupt)
 	}
 	f.Kind = b[0]
-	if f.Kind != KindEffector && f.Kind != KindSnapshot && f.Kind != KindDone {
+	if !KindValid(f.Kind) {
 		return f, fmt.Errorf("%w: unknown frame kind %d", codec.ErrCorrupt, f.Kind)
 	}
 	rest := b[1:]

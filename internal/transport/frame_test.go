@@ -63,6 +63,42 @@ func TestFrameDecodeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestKindRegistry pins the frame-kind registry: every declared constant is
+// registered (Decode validates against the registry, so an unregistered
+// constant would be rejected on the wire), names are distinct, and unknown
+// kinds stay invalid.
+func TestKindRegistry(t *testing.T) {
+	declared := []byte{KindEffector, KindSnapshot, KindDone, KindSnapshotRequest}
+	if len(declared) != len(kindNames) {
+		t.Fatalf("%d declared kind constants but %d registry entries — keep them in lockstep", len(declared), len(kindNames))
+	}
+	seen := map[string]bool{}
+	for _, k := range declared {
+		if !KindValid(k) {
+			t.Errorf("declared kind %d is not registered", k)
+		}
+		name := KindName(k)
+		if seen[name] {
+			t.Errorf("kind name %q registered twice", name)
+		}
+		seen[name] = true
+		// A frame of every registered kind survives the wire.
+		f := Frame{Kind: k, MID: 11, From: 1}
+		got, err := DecodeWire(EncodeWire(f))
+		if err != nil || got.Kind != k {
+			t.Errorf("kind %s: round trip got %+v err=%v", name, got, err)
+		}
+	}
+	for _, k := range []byte{0, 5, 99, 255} {
+		if KindValid(k) {
+			t.Errorf("kind %d should be invalid", k)
+		}
+		if _, err := Decode(Frame{Kind: k, MID: 1}.Append(nil)); !errors.Is(err, codec.ErrCorrupt) {
+			t.Errorf("kind %d: Decode = %v, want ErrCorrupt", k, err)
+		}
+	}
+}
+
 func TestMemEndpointBroadcastRecv(t *testing.T) {
 	m := NewMem(3)
 	a, b, c := m.Endpoint(0), m.Endpoint(1), m.Endpoint(2)

@@ -328,6 +328,23 @@ func (e *memEndpoint) flush(trigger int) error {
 	return nil
 }
 
+// Send queues one frame for exactly one peer (the Unicaster interface): the
+// snapshot protocol's response channel. The pending broadcast batch is
+// flushed first so the unicast cannot overtake broadcasts queued before it.
+func (e *memEndpoint) Send(to model.NodeID, f Frame) error {
+	if int(to) < 0 || int(to) >= e.m.n || to == e.self {
+		return fmt.Errorf("transport: cannot unicast to node %s", to)
+	}
+	if err := e.flush(trigExplicit); err != nil {
+		return err
+	}
+	e.m.Put(to, &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
+	e.stats.Sent[to].Frames++
+	e.stats.Sent[to].Batches++
+	e.stats.Sent[to].Bytes += len(EncodeWire(f))
+	return nil
+}
+
 // Flush forces the pending batch into the network queues.
 func (e *memEndpoint) Flush() error { return e.flush(trigExplicit) }
 

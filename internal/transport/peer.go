@@ -39,22 +39,78 @@ type Peer struct {
 
 	issued int // effectful broadcasts by this peer
 	// done maps peers that announced completion to their effectful counts.
-	done    map[model.NodeID]int
-	remote  int // effector frames applied from other peers
-	skipped int // operations rejected by their assume precondition
+	done     map[model.NodeID]int
+	doneSent bool
+	remote   int // effector frames applied from other peers
+	skipped  int // operations rejected by their assume precondition
+
+	// Snapshot serving/compaction side (WithSnapshotPolicy). log retains
+	// every applied effector frame not yet folded into the checkpoint; acks
+	// tracks, per peer, the frames that peer is known to have applied (its
+	// own broadcasts plus everything in the deps it puts on the wire) — the
+	// input to the compaction frontier.
+	snapServe    bool
+	pol          SnapshotPolicy
+	log          []Frame
+	ck           *Checkpoint
+	acks         map[model.NodeID]map[model.MsgID]bool
+	served       map[model.NodeID]bool
+	sinceCompact int
+
+	// Snapshot catch-up side (WithCatchUp). While syncing — between the
+	// request and the first response installing (or the corrupt fallback) —
+	// incoming effector frames buffer in held so the installed state can
+	// never lose a concurrent broadcast.
+	catchUp   bool
+	decState  crdt.StateDecoder
+	requested bool
+	syncing   bool
+
+	snapStats SnapStats
+}
+
+// PeerOption configures optional peer layers.
+type PeerOption func(*Peer)
+
+// WithSnapshotPolicy enables the snapshot serving/compaction layer: the peer
+// retains its applied effector frames, answers each peer's first
+// KindSnapshotRequest with its checkpoint plus the retained suffix, and —
+// with pol.Every > 0 — compacts every pol.Every applied frames, truncating
+// the log up to the frontier every connected peer has acknowledged.
+func WithSnapshotPolicy(pol SnapshotPolicy) PeerOption {
+	return func(p *Peer) {
+		p.snapServe = true
+		p.pol = pol
+		p.acks = map[model.NodeID]map[model.MsgID]bool{}
+		p.served = map[model.NodeID]bool{}
+	}
+}
+
+// WithCatchUp marks the peer a late joiner: CatchUp broadcasts a snapshot
+// request and the first response installs through dec (the algorithm's
+// registered StateDecoder) before the peer enters the normal hold-back loop.
+func WithCatchUp(dec crdt.StateDecoder) PeerOption {
+	return func(p *Peer) {
+		p.catchUp = true
+		p.decState = dec
+	}
 }
 
 // NewPeer creates the replica layer for obj over t. dec must be the
 // algorithm's registered effector decoder; causal enables the causal
 // hold-back the X-wins algorithms require.
-func NewPeer(obj crdt.Object, dec crdt.EffectorDecoder, t Transport, causal bool) *Peer {
-	return &Peer{
+func NewPeer(obj crdt.Object, dec crdt.EffectorDecoder, t Transport, causal bool, opts ...PeerOption) *Peer {
+	p := &Peer{
 		t: t, obj: obj, dec: dec, causal: causal,
 		state:   obj.Init(),
 		applied: map[model.MsgID]bool{},
 		held:    map[model.MsgID]Frame{},
 		done:    map[model.NodeID]int{},
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // State returns the current replica state.
@@ -92,6 +148,9 @@ func (p *Peer) observe(mid model.MsgID) {
 // (identity effectors are not broadcast). It returns crdt.ErrAssume
 // unchanged when the precondition fails, leaving the replica untouched.
 func (p *Peer) Invoke(op model.Op) (model.Value, error) {
+	if p.syncing {
+		return model.Nil(), fmt.Errorf("transport: catch-up in progress: await the snapshot before invoking")
+	}
 	mid := p.nextMID()
 	ret, eff, err := p.obj.Prepare(op, p.state, p.t.Self(), mid)
 	if err != nil {
@@ -110,14 +169,28 @@ func (p *Peer) Invoke(op model.Op) (model.Value, error) {
 	if _, derr := p.dec(payload); derr != nil {
 		return model.Nil(), fmt.Errorf("transport: effector %s does not decode with the registered codec: %v", eff, derr)
 	}
-	f := Frame{Kind: KindEffector, MID: mid, From: p.t.Self(), Payload: payload}
-	if p.causal {
-		f.Deps = p.visible()
-	}
+	f := Frame{Kind: KindEffector, MID: mid, From: p.t.Self(), Payload: payload, Deps: p.wireDeps()}
 	p.state = eff.Apply(p.state)
 	p.applied[mid] = true
 	p.issued++
+	if p.snapServe {
+		p.log = append(p.log, f)
+		if err := p.tickCompaction(); err != nil {
+			return model.Nil(), err
+		}
+	}
 	return ret, p.t.Broadcast(f)
+}
+
+// wireDeps returns the dependency list a frame should carry: the applied set
+// when causal delivery needs it, or when the mesh runs the snapshot protocol
+// — there the deps double as acknowledgements that drive the compaction
+// frontier, so serving peers and catch-up joiners always attach them.
+func (p *Peer) wireDeps() []model.MsgID {
+	if p.causal || p.snapServe || p.catchUp {
+		return p.visible()
+	}
+	return nil
 }
 
 // visible returns the applied set as a sorted dependency list.
@@ -137,9 +210,11 @@ func (p *Peer) visible() []model.MsgID {
 // transport: nothing of this peer's history may linger in a pending batch
 // once completion is announced.
 func (p *Peer) Done() error {
+	p.doneSent = true
 	if err := p.t.Broadcast(Frame{
 		Kind: KindDone, MID: p.nextMID(), From: p.t.Self(),
 		Payload: codec.AppendUvarint(nil, uint64(p.issued)),
+		Deps:    p.wireDeps(),
 	}); err != nil {
 		return err
 	}
@@ -175,6 +250,7 @@ func (p *Peer) Handle(f Frame) error {
 	switch f.Kind {
 	case KindDone:
 		p.observe(f.MID)
+		p.ack(f)
 		n, rest, err := codec.DecodeUvarint(f.Payload)
 		if err == nil {
 			err = codec.Done(rest)
@@ -183,24 +259,63 @@ func (p *Peer) Handle(f Frame) error {
 			return fmt.Errorf("transport: done frame from %s: %w", f.From, err)
 		}
 		p.done[f.From] = int(n)
+		if p.snapServe && p.pol.Every > 0 {
+			// A done frame carries the peer's final acknowledgement set: a
+			// last compaction pass keeps the retained log from fossilizing
+			// at whatever the tick counter left.
+			return p.compact()
+		}
 		return nil
 	case KindEffector:
-		p.observe(f.MID)
-		if p.applied[f.MID] {
-			return nil // at-most-once: duplicate suppressed
-		}
-		if p.causal && !p.depsMet(f) {
-			p.held[f.MID] = f
-			return nil
-		}
-		if err := p.apply(f); err != nil {
-			return err
-		}
-		return p.retryHeld()
+		return p.handleEffector(f)
 	case KindSnapshot:
-		return fmt.Errorf("transport: unsolicited snapshot frame from %s", f.From)
+		p.observe(f.MID)
+		return p.handleSnapshot(f)
+	case KindSnapshotRequest:
+		p.observe(f.MID)
+		p.ack(f)
+		return p.serveSnapshot(f.From)
 	default:
-		return fmt.Errorf("transport: unknown frame kind %d from %s", f.Kind, f.From)
+		return fmt.Errorf("transport: %s frame from %s", KindName(f.Kind), f.From)
+	}
+}
+
+// handleEffector runs the KindEffector path: dedup, buffering while a
+// catch-up is syncing (the install replaces the state, so concurrent frames
+// must wait), causal hold-back, then application.
+func (p *Peer) handleEffector(f Frame) error {
+	p.observe(f.MID)
+	p.ack(f)
+	if p.applied[f.MID] {
+		return nil // at-most-once: duplicate suppressed
+	}
+	if p.syncing || (p.causal && !p.depsMet(f)) {
+		p.held[f.MID] = f
+		return nil
+	}
+	if err := p.apply(f); err != nil {
+		return err
+	}
+	return p.retryHeld()
+}
+
+// ack records what frame f proves its sender has applied: its own broadcast
+// plus every dependency it attached. Acknowledgements are monotone facts
+// about the sender's applied set, the input to the compaction frontier.
+func (p *Peer) ack(f Frame) {
+	if !p.snapServe {
+		return
+	}
+	set := p.acks[f.From]
+	if set == nil {
+		set = map[model.MsgID]bool{}
+		p.acks[f.From] = set
+	}
+	if f.Kind == KindEffector {
+		set[f.MID] = true
+	}
+	for _, d := range f.Deps {
+		set[d] = true
 	}
 }
 
@@ -214,7 +329,8 @@ func (p *Peer) depsMet(f Frame) bool {
 	return true
 }
 
-// apply decodes and applies one effector frame.
+// apply decodes and applies one effector frame, retaining it in the
+// compaction log when the snapshot layer is on.
 func (p *Peer) apply(f Frame) error {
 	eff, err := p.dec(f.Payload)
 	if err != nil {
@@ -223,13 +339,23 @@ func (p *Peer) apply(f Frame) error {
 	p.state = eff.Apply(p.state)
 	p.applied[f.MID] = true
 	p.remote++
+	if p.snapServe {
+		p.log = append(p.log, f)
+		return p.tickCompaction()
+	}
 	return nil
 }
 
 // retryHeld applies held frames whose dependencies became satisfied,
 // repeating until a fixpoint (one delivery can unblock a chain). Frames are
-// retried in mid order, which is consistent with happens-before.
+// retried in mid order, which is consistent with happens-before. While a
+// catch-up is syncing everything stays buffered; non-causal frames release
+// unconditionally once the sync resolves (their deps are acknowledgement
+// metadata, not delivery gates).
 func (p *Peer) retryHeld() error {
+	if p.syncing {
+		return nil
+	}
 	for {
 		progress := false
 		mids := make([]model.MsgID, 0, len(p.held))
@@ -239,7 +365,14 @@ func (p *Peer) retryHeld() error {
 		sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
 		for _, mid := range mids {
 			f := p.held[mid]
-			if !p.depsMet(f) {
+			if p.applied[mid] {
+				// A frame held during a catch-up sync can arrive again inside
+				// the installed snapshot (covered or suffix): at-most-once
+				// holds here too.
+				delete(p.held, mid)
+				continue
+			}
+			if p.causal && !p.depsMet(f) {
 				continue
 			}
 			delete(p.held, mid)
@@ -264,6 +397,286 @@ func (p *Peer) Step(wait bool) (bool, error) {
 	}
 	return true, p.Handle(f)
 }
+
+// CatchUp broadcasts a KindSnapshotRequest: every serving peer answers with
+// its checkpoint state plus retained suffix, and the first response installs
+// (AwaitCatchUp pumps until then). Until the install — or the fallback to
+// full replay if the response is corrupt — incoming effector frames buffer
+// and Invoke refuses. Call it right after Listen, before any operation.
+func (p *Peer) CatchUp() error {
+	if p.decState == nil {
+		return fmt.Errorf("transport: peer was not built with WithCatchUp")
+	}
+	if p.requested {
+		return nil
+	}
+	p.requested = true
+	p.syncing = true
+	if err := p.t.Broadcast(Frame{
+		Kind: KindSnapshotRequest, MID: p.nextMID(), From: p.t.Self(), Deps: p.wireDeps(),
+	}); err != nil {
+		return err
+	}
+	return p.Flush()
+}
+
+// CaughtUp reports whether a requested catch-up has resolved (a snapshot
+// installed, or the peer fell back to full replay).
+func (p *Peer) CaughtUp() bool { return p.requested && !p.syncing }
+
+// AwaitCatchUp pumps the transport until the catch-up resolves or the
+// deadline passes. A corrupt first response surfaces as an error wrapping
+// codec.ErrCorrupt; the peer is still usable afterwards — it has fallen back
+// to converging by full replay.
+func (p *Peer) AwaitCatchUp(deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for p.syncing {
+		if time.Now().After(limit) {
+			return fmt.Errorf("transport: %w: no snapshot response after %s", ErrTimeout, deadline)
+		}
+		ok, err := p.Step(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("transport: network drained while awaiting a snapshot response")
+		}
+	}
+	return nil
+}
+
+// serveSnapshot answers one snapshot request: the checkpoint's covered set
+// and state (or the initial state before any checkpoint — then the whole
+// log rides as suffix, a full replay), the retained log, and the completion
+// announcements the requester can no longer receive directly. Each peer is
+// served once; duplicates and requests to peers without the snapshot layer
+// are counted and ignored.
+func (p *Peer) serveSnapshot(to model.NodeID) error {
+	if !p.snapServe {
+		p.snapStats.RequestsIgnored++
+		return nil
+	}
+	if p.served[to] {
+		p.snapStats.DupRequests++
+		return nil
+	}
+	u, ok := p.t.(Unicaster)
+	if !ok {
+		return fmt.Errorf("transport: %T cannot unicast a snapshot response", p.t)
+	}
+	p.served[to] = true
+	snap := Snapshot{Suffix: p.log}
+	if p.ck != nil {
+		snap.Covered = p.ck.CoveredSorted()
+		snap.State = p.ck.State.AppendBinary(nil)
+	} else {
+		snap.State = p.obj.Init().AppendBinary(nil)
+	}
+	for node, n := range p.done {
+		snap.Done = append(snap.Done, DoneCount{Node: node, Count: n})
+	}
+	if p.doneSent {
+		snap.Done = append(snap.Done, DoneCount{Node: p.t.Self(), Count: p.issued})
+	}
+	p.snapStats.Served++
+	if err := u.Send(to, Frame{
+		Kind: KindSnapshot, MID: p.nextMID(), From: p.t.Self(), Payload: EncodeSnapshot(snap),
+	}); err != nil {
+		// Best-effort: the requester may have resolved through another peer's
+		// response and hung up before this one went out. A lost response never
+		// strands the joiner — it retries or falls back to full replay — so a
+		// refused write must not take this peer down.
+		p.snapStats.ServeFailed++
+	}
+	return nil
+}
+
+// handleSnapshot processes one snapshot response. The first response while
+// syncing installs: the decoded checkpoint state replaces the (fresh)
+// replica state, the covered frames are marked applied without ever being
+// replayed, and the suffix runs through the ordinary dedup path. A corrupt
+// response falls back to full replay — the buffered frames release and the
+// mesh converges the pre-snapshot way. Later responses only contribute
+// suffix frames the peer still misses: by the compaction frontier rule their
+// covered sets are always already applied here (a frame compacted anywhere
+// was acknowledged — hence applied — by every peer connected there, or is
+// in the response that installed).
+func (p *Peer) handleSnapshot(f Frame) error {
+	if !p.requested {
+		return fmt.Errorf("transport: unsolicited snapshot frame from %s", f.From)
+	}
+	snap, err := DecodeSnapshot(f.Payload)
+	var st crdt.State
+	if err == nil && p.syncing {
+		st, err = p.decState(snap.State)
+	}
+	if err != nil {
+		p.snapStats.CorruptResponses++
+		if !p.syncing {
+			return fmt.Errorf("transport: snapshot frame from %s: %w", f.From, err)
+		}
+		p.syncing = false
+		p.snapStats.FellBack = true
+		if rerr := p.retryHeld(); rerr != nil {
+			return rerr
+		}
+		return fmt.Errorf("transport: snapshot from %s rejected, falling back to full log replay: %w", f.From, err)
+	}
+	if p.syncing {
+		p.state = st
+		for _, mid := range snap.Covered {
+			p.observe(mid)
+			if !p.applied[mid] {
+				p.applied[mid] = true
+				p.remote++
+				p.snapStats.InstallCovered++
+			}
+		}
+		if p.snapServe {
+			// Seed this peer's own checkpoint from the installed snapshot, so
+			// a peer that both catches up and serves can answer a still later
+			// joiner without the history the server compacted away.
+			p.ck = NewCheckpoint(st)
+			for _, mid := range snap.Covered {
+				p.ck.Covered[mid] = true
+			}
+		}
+		p.syncing = false
+		p.snapStats.Installed = true
+		p.snapStats.InstallSuffix += len(snap.Suffix)
+		p.snapStats.SnapshotBytes += len(f.Payload)
+	} else {
+		p.snapStats.ResponsesIgnored++
+		for _, mid := range snap.Covered {
+			if !p.applied[mid] {
+				return fmt.Errorf("transport: snapshot from %s covers unapplied frame %s after install — compaction frontier violated", f.From, mid)
+			}
+		}
+	}
+	for _, d := range snap.Done {
+		if _, known := p.done[d.Node]; !known && d.Node != p.t.Self() {
+			p.done[d.Node] = d.Count
+		}
+	}
+	for _, sf := range snap.Suffix {
+		if err := p.handleEffector(sf); err != nil {
+			return err
+		}
+	}
+	return p.retryHeld()
+}
+
+// tickCompaction counts one applied effector frame against the policy
+// interval and compacts when it elapses.
+func (p *Peer) tickCompaction() error {
+	if p.pol.Every <= 0 {
+		return nil
+	}
+	p.sinceCompact++
+	if p.sinceCompact < p.pol.Every {
+		return nil
+	}
+	p.sinceCompact = 0
+	return p.compact()
+}
+
+// compact advances the checkpoint to the compaction frontier — the retained
+// frames every connected peer has acknowledged applying — and truncates the
+// log up to it. Truncating only acknowledged frames preserves the safety
+// invariant truncated ⊆ applied at every connected peer: anything a future
+// request needs is either covered by the served checkpoint or still in the
+// retained suffix. A peer that has not acknowledged anything (a joiner whose
+// first frames have not arrived) blocks the frontier entirely, which is the
+// safe direction.
+func (p *Peer) compact() error {
+	if len(p.log) == 0 {
+		return nil
+	}
+	peers := p.connectedPeers()
+	var stable []model.MsgID
+	for _, f := range p.log {
+		acked := true
+		for _, q := range peers {
+			if q == p.t.Self() {
+				continue
+			}
+			if !p.acks[q][f.MID] {
+				acked = false
+				break
+			}
+		}
+		if acked {
+			stable = append(stable, f.MID)
+		}
+	}
+	if len(stable) == 0 {
+		return nil
+	}
+	if p.ck == nil {
+		p.ck = NewCheckpoint(p.obj.Init())
+	}
+	byMID := make(map[model.MsgID]Frame, len(p.log))
+	for _, f := range p.log {
+		byMID[f.MID] = f
+	}
+	if err := p.ck.Advance(stable, func(mid model.MsgID) (crdt.Effector, bool) {
+		f, ok := byMID[mid]
+		if !ok {
+			return nil, false
+		}
+		eff, err := p.dec(f.Payload)
+		if err != nil {
+			return nil, false
+		}
+		return eff, true
+	}); err != nil {
+		return err
+	}
+	retained := p.log[:0]
+	truncated := 0
+	for _, f := range p.log {
+		if p.ck.Covered[f.MID] {
+			truncated++
+			continue
+		}
+		retained = append(retained, f)
+	}
+	p.log = retained
+	p.snapStats.Checkpoints++
+	p.snapStats.LogTruncated += truncated
+	return nil
+}
+
+// connectedPeers returns the peers the compaction frontier must wait for:
+// what the transport reports as connected, or every other group member when
+// the transport does not track connections.
+func (p *Peer) connectedPeers() []model.NodeID {
+	if pl, ok := p.t.(PeerLister); ok {
+		return pl.ConnectedPeers()
+	}
+	out := make([]model.NodeID, 0, p.t.N()-1)
+	for i := 0; i < p.t.N(); i++ {
+		if model.NodeID(i) != p.t.Self() {
+			out = append(out, model.NodeID(i))
+		}
+	}
+	return out
+}
+
+// SnapshotStats returns a snapshot of the peer's state-transfer counters.
+func (p *Peer) SnapshotStats() SnapStats {
+	s := p.snapStats
+	s.LogRetained = len(p.log)
+	return s
+}
+
+// LogLen returns the number of effector frames currently retained for
+// snapshot serving (0 without WithSnapshotPolicy).
+func (p *Peer) LogLen() int { return len(p.log) }
+
+// DonePeers returns the number of peers whose completion announcement this
+// peer knows (received directly or forwarded inside a snapshot response).
+func (p *Peer) DonePeers() int { return len(p.done) }
 
 // Quiesced reports whether the object is stable from this peer's view:
 // every peer announced completion and every announced effectful broadcast

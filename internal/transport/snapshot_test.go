@@ -1,0 +1,471 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/crdt"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/transport"
+)
+
+// listedTransport pins the connected-peer set a Mem endpoint reports, so a
+// test can model a socket mesh where the late joiner is not admitted yet:
+// the compaction frontier then only waits for the listed peers, exactly as
+// Stream.ConnectedPeers would report before the joiner's admission.
+type listedTransport struct {
+	transport.Transport
+	peers []model.NodeID
+}
+
+func (l listedTransport) ConnectedPeers() []model.NodeID { return l.peers }
+
+func (l listedTransport) Send(to model.NodeID, f transport.Frame) error {
+	return l.Transport.(transport.Unicaster).Send(to, f)
+}
+
+func (l listedTransport) Flush() error {
+	return l.Transport.(transport.Flusher).Flush()
+}
+
+// sampleSnapshot builds a non-trivial snapshot from real counter effectors.
+func sampleSnapshot(t testing.TB) transport.Snapshot {
+	t.Helper()
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	obj := alg.New()
+	st := obj.Init()
+	var suffix []transport.Frame
+	for i, mid := range []model.MsgID{7, 9} {
+		_, eff, err := obj.Prepare(model.Op{Name: spec.OpInc}, st, model.NodeID(i), mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suffix = append(suffix, transport.Frame{
+			Kind: transport.KindEffector, MID: mid, From: model.NodeID(i),
+			Deps: []model.MsgID{1, 3}, Payload: eff.AppendBinary(nil),
+		})
+	}
+	return transport.Snapshot{
+		Covered: []model.MsgID{1, 3, 4},
+		State:   st.AppendBinary(nil),
+		Done:    []transport.DoneCount{{Node: 0, Count: 2}, {Node: 2, Count: 0}},
+		Suffix:  suffix,
+	}
+}
+
+// TestSnapshotCodecRoundTrip checks the snapshot payload round-trips
+// losslessly and encodes canonically (unsorted input, same bytes).
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(t)
+	enc := transport.EncodeSnapshot(snap)
+	got, err := transport.DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+	// Canonical: scrambled covered/done orders must encode byte-equal.
+	scrambled := snap
+	scrambled.Covered = []model.MsgID{4, 1, 3}
+	scrambled.Done = []transport.DoneCount{{Node: 2, Count: 0}, {Node: 0, Count: 2}}
+	if !bytes.Equal(transport.EncodeSnapshot(scrambled), enc) {
+		t.Fatal("scrambled input did not encode canonically")
+	}
+	// The empty snapshot (a serving peer with nothing applied) round-trips too.
+	empty := transport.Snapshot{State: []byte{}}
+	got, err = transport.DecodeSnapshot(transport.EncodeSnapshot(empty))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(got.Covered) != 0 || len(got.Suffix) != 0 || len(got.Done) != 0 {
+		t.Fatalf("empty snapshot decoded non-empty: %+v", got)
+	}
+}
+
+// TestSnapshotDecodeTruncation cuts a valid payload at every strict prefix:
+// each must be rejected with codec.ErrCorrupt — a transfer that dies
+// mid-stream can never install a half snapshot.
+func TestSnapshotDecodeTruncation(t *testing.T) {
+	enc := transport.EncodeSnapshot(sampleSnapshot(t))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := transport.DecodeSnapshot(enc[:cut]); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("cut at %d/%d: err=%v, want codec.ErrCorrupt", cut, len(enc), err)
+		}
+	}
+}
+
+// TestSnapshotDecodeMalformed rejects structurally broken payloads.
+func TestSnapshotDecodeMalformed(t *testing.T) {
+	valid := transport.EncodeSnapshot(sampleSnapshot(t))
+	doneFrame := transport.Frame{Kind: transport.KindDone, MID: 5, From: 1, Payload: codec.AppendUvarint(nil, 2)}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"trailing byte", append(append([]byte(nil), valid...), 0)},
+		{"unsorted covered", func() []byte {
+			b := codec.AppendUvarint(nil, 2)
+			b = codec.AppendUvarint(b, 9)
+			b = codec.AppendUvarint(b, 3) // 3 after 9: not ascending
+			b = codec.AppendBytes(b, nil)
+			b = codec.AppendUvarint(b, 0)
+			return codec.AppendUvarint(b, 0)
+		}()},
+		{"duplicate covered", func() []byte {
+			b := codec.AppendUvarint(nil, 2)
+			b = codec.AppendUvarint(b, 9)
+			b = codec.AppendUvarint(b, 9)
+			b = codec.AppendBytes(b, nil)
+			b = codec.AppendUvarint(b, 0)
+			return codec.AppendUvarint(b, 0)
+		}()},
+		{"unsorted done nodes", func() []byte {
+			b := codec.AppendUvarint(nil, 0)
+			b = codec.AppendBytes(b, nil)
+			b = codec.AppendUvarint(b, 2)
+			b = codec.AppendUvarint(b, 1)
+			b = codec.AppendUvarint(b, 4)
+			b = codec.AppendUvarint(b, 0) // node 0 after node 1
+			b = codec.AppendUvarint(b, 2)
+			return codec.AppendUvarint(b, 0)
+		}()},
+		{"non-effector suffix frame", func() []byte {
+			b := codec.AppendUvarint(nil, 0)
+			b = codec.AppendBytes(b, nil)
+			b = codec.AppendUvarint(b, 0)
+			b = codec.AppendUvarint(b, 1)
+			return codec.AppendBytes(b, doneFrame.Append(nil))
+		}()},
+		{"garbage suffix frame", func() []byte {
+			b := codec.AppendUvarint(nil, 0)
+			b = codec.AppendBytes(b, nil)
+			b = codec.AppendUvarint(b, 0)
+			b = codec.AppendUvarint(b, 1)
+			return codec.AppendBytes(b, []byte{0xff, 0xfe})
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := transport.DecodeSnapshot(tc.b); !errors.Is(err, codec.ErrCorrupt) {
+			t.Errorf("%s: err=%v, want codec.ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+// TestCheckpointAdvance exercises the shared shadow replica directly: mids
+// fold in ascending order whatever the call order, covered mids are skipped,
+// and a mid the retained log cannot supply fails loudly.
+func TestCheckpointAdvance(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	obj := alg.New()
+	effs := map[model.MsgID]crdt.Effector{}
+	st := obj.Init()
+	for i, mid := range []model.MsgID{2, 5, 8} {
+		_, eff, err := obj.Prepare(model.Op{Name: spec.OpInc}, st, model.NodeID(i%2), mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		effs[mid] = eff
+		st = eff.Apply(st) // reference: all three applied
+	}
+	lookup := func(mid model.MsgID) (crdt.Effector, bool) { e, ok := effs[mid]; return e, ok }
+	ck := transport.NewCheckpoint(obj.Init())
+	if err := ck.Advance([]model.MsgID{8, 2}, lookup); err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.CoveredSorted(); !reflect.DeepEqual(got, []model.MsgID{2, 8}) {
+		t.Fatalf("covered %v, want [2 8]", got)
+	}
+	// Re-advancing covered mids is a no-op; the fresh one still folds in.
+	if err := ck.Advance([]model.MsgID{2, 5, 8}, lookup); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ck.State.AppendBinary(nil), st.AppendBinary(nil)) {
+		t.Fatal("checkpoint state differs from applying the same set directly")
+	}
+	// A clone is independent.
+	cp := ck.Clone()
+	cp.Covered[99] = true
+	if ck.Covered[99] {
+		t.Fatal("clone shares the covered map")
+	}
+	if err := ck.Advance([]model.MsgID{42}, lookup); err == nil {
+		t.Fatal("advancing past the retained log did not fail")
+	}
+}
+
+// pumpDrain steps every peer until none makes progress: the deterministic
+// Mem equivalent of letting the mesh go idle.
+func pumpDrain(t *testing.T, peers ...*transport.Peer) {
+	t.Helper()
+	for {
+		progress := false
+		for _, p := range peers {
+			ok, err := p.Step(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progress = progress || ok
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// TestSnapshotCatchUpOverMem runs the whole snapshot protocol on the
+// deterministic Mem: two serving peers replicate a prefix (compacting under
+// SnapshotPolicy), a fresh peer catches up via CatchUp/AwaitCatchUp, joins
+// the replication, and everyone converges byte-identically. The Every=0 leg
+// serves the full log as suffix — catch-up without a checkpoint.
+func TestSnapshotCatchUpOverMem(t *testing.T) {
+	for _, name := range []string{"counter", "aw-set", "rga"} {
+		for _, every := range []int{2, 0} {
+			alg, ok := registry.ByName(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			t.Run(name, func(t *testing.T) {
+				m := transport.NewMem(3)
+				pol := transport.SnapshotPolicy{Every: every}
+				server := transport.NewPeer(alg.New(), alg.DecodeEffector,
+					listedTransport{m.Endpoint(0), []model.NodeID{1}}, alg.NeedsCausal,
+					transport.WithSnapshotPolicy(pol))
+				helper := transport.NewPeer(alg.New(), alg.DecodeEffector,
+					listedTransport{m.Endpoint(1), []model.NodeID{0}}, alg.NeedsCausal,
+					transport.WithSnapshotPolicy(pol))
+				early := []*transport.Peer{server, helper}
+				script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), 3, 18, 11, alg.NeedsCausal)
+				var lateOps []model.Op
+				for _, so := range script {
+					if so.Node == 2 {
+						lateOps = append(lateOps, so.Op)
+						continue
+					}
+					if _, err := early[so.Node].Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						t.Fatalf("invoke %v at %s: %v", so.Op, so.Node, err)
+					}
+					pumpDrain(t, server, helper)
+				}
+				if every > 0 {
+					if st := server.SnapshotStats(); st.Checkpoints == 0 || st.LogTruncated == 0 {
+						t.Fatalf("server never compacted before the join: %+v", st)
+					}
+				}
+				joiner := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(2),
+					alg.NeedsCausal, transport.WithCatchUp(alg.DecodeState))
+				if err := joiner.CatchUp(); err != nil {
+					t.Fatal(err)
+				}
+				pumpDrain(t, server, helper) // the servers answer the request
+				if err := joiner.AwaitCatchUp(5 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				st := joiner.SnapshotStats()
+				if !st.Installed || st.FellBack {
+					t.Fatalf("joiner did not install a snapshot: %+v", st)
+				}
+				if every > 0 && st.InstallCovered == 0 {
+					t.Fatalf("compacting leg installed nothing via the checkpoint: %+v", st)
+				}
+				if every == 0 && (st.InstallCovered != 0 || st.InstallSuffix == 0) {
+					t.Fatalf("full-replay leg should serve everything as suffix: %+v", st)
+				}
+				for _, op := range lateOps {
+					if _, err := joiner.Invoke(op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						t.Fatalf("late invoke %v: %v", op, err)
+					}
+					pumpDrain(t, server, helper, joiner)
+				}
+				all := []*transport.Peer{server, helper, joiner}
+				for _, p := range all {
+					if err := p.Done(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i, p := range all {
+					if err := p.RunToQuiescence(5 * time.Second); err != nil {
+						t.Fatalf("peer %d: %v", i, err)
+					}
+				}
+				ref := server.CanonicalState()
+				for i, p := range all[1:] {
+					if !bytes.Equal(p.CanonicalState(), ref) {
+						t.Fatalf("peer %d diverged from the server", i+1)
+					}
+				}
+				if every > 0 {
+					total := server.Issued() + server.Applied()
+					if got := server.LogLen(); got >= total {
+						t.Fatalf("retained log %d not bounded below the %d applied frames", got, total)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotServeErrorPaths covers the serving-side edges: a peer without
+// the snapshot layer ignores requests, duplicates are served once, and a
+// serving peer with no checkpoint yet answers with a full-log suffix.
+func TestSnapshotServeErrorPaths(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	req := func(from model.NodeID, mid model.MsgID) transport.Frame {
+		return transport.Frame{Kind: transport.KindSnapshotRequest, MID: mid, From: from}
+	}
+
+	t.Run("no snapshot layer", func(t *testing.T) {
+		m := transport.NewMem(2)
+		p := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), false)
+		if err := p.Handle(req(1, 2)); err != nil {
+			t.Fatalf("a bare peer must ignore requests, got %v", err)
+		}
+		if st := p.SnapshotStats(); st.RequestsIgnored != 1 || st.Served != 0 {
+			t.Fatalf("stats %+v, want 1 ignored and 0 served", st)
+		}
+	})
+
+	t.Run("duplicate request served once", func(t *testing.T) {
+		m := transport.NewMem(2)
+		p := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), false,
+			transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: 2}))
+		if err := p.Handle(req(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Handle(req(1, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.SnapshotStats(); st.Served != 1 || st.DupRequests != 1 {
+			t.Fatalf("stats %+v, want served=1 dup=1", st)
+		}
+	})
+
+	t.Run("no checkpoint yet serves the full log", func(t *testing.T) {
+		m := transport.NewMem(2)
+		server := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), false,
+			transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: 100}))
+		if _, err := server.Invoke(model.Op{Name: spec.OpInc}); err != nil {
+			t.Fatal(err)
+		}
+		joiner := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), false,
+			transport.WithCatchUp(alg.DecodeState))
+		if err := joiner.CatchUp(); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := server.Step(true); err != nil || !ok {
+			t.Fatalf("server step: ok=%v err=%v", ok, err)
+		}
+		if err := joiner.AwaitCatchUp(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		st := joiner.SnapshotStats()
+		if !st.Installed || st.InstallCovered != 0 || st.InstallSuffix != 1 {
+			t.Fatalf("stats %+v, want an install with 0 covered and 1 suffix frame", st)
+		}
+		if !bytes.Equal(joiner.CanonicalState(), server.CanonicalState()) {
+			t.Fatal("joiner did not converge")
+		}
+	})
+
+	t.Run("unsolicited response rejected", func(t *testing.T) {
+		m := transport.NewMem(2)
+		p := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), false)
+		f := transport.Frame{Kind: transport.KindSnapshot, MID: 1, From: 0,
+			Payload: transport.EncodeSnapshot(transport.Snapshot{State: alg.New().Init().AppendBinary(nil)})}
+		if err := p.Handle(f); err == nil {
+			t.Fatal("an unsolicited snapshot frame must be rejected")
+		}
+	})
+}
+
+// TestSnapshotCorruptFallback corrupts the snapshot response mid-transfer:
+// the joiner must reject it with codec.ErrCorrupt, report the fallback, and
+// still converge by full replay — the buffered frames release.
+func TestSnapshotCorruptFallback(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	corrupt := func(t *testing.T, payload []byte) {
+		t.Helper()
+		m := transport.NewMem(2)
+		server := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(0), false)
+		for i := 0; i < 3; i++ {
+			if _, err := server.Invoke(model.Op{Name: spec.OpInc}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		joiner := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), false,
+			transport.WithCatchUp(alg.DecodeState))
+		if err := joiner.CatchUp(); err != nil {
+			t.Fatal(err)
+		}
+		err := joiner.Handle(transport.Frame{Kind: transport.KindSnapshot, MID: 2, From: 0, Payload: payload})
+		if !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("err=%v, want codec.ErrCorrupt", err)
+		}
+		st := joiner.SnapshotStats()
+		if !st.FellBack || st.Installed || st.CorruptResponses != 1 {
+			t.Fatalf("stats %+v, want a recorded fallback", st)
+		}
+		if !joiner.CaughtUp() {
+			t.Fatal("fallback must resolve the catch-up")
+		}
+		// Full replay still converges: the server's broadcasts are queued.
+		for {
+			ok, err := joiner.Step(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !bytes.Equal(joiner.CanonicalState(), server.CanonicalState()) {
+			t.Fatal("joiner did not converge by replay after the fallback")
+		}
+	}
+	t.Run("garbage payload", func(t *testing.T) { corrupt(t, []byte{0xde, 0xad, 0xbe, 0xef}) })
+	t.Run("truncated mid-transfer", func(t *testing.T) {
+		full := transport.EncodeSnapshot(sampleSnapshot(t))
+		corrupt(t, full[:len(full)/2])
+	})
+}
+
+// TestInvokeRefusedWhileSyncing: between the request and the install the
+// replica state is about to be replaced, so local operations must refuse
+// instead of issuing effectors from a state that is going away.
+func TestInvokeRefusedWhileSyncing(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	m := transport.NewMem(2)
+	p := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), false,
+		transport.WithCatchUp(alg.DecodeState))
+	if err := p.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(model.Op{Name: spec.OpInc}); err == nil {
+		t.Fatal("invoke during catch-up must refuse")
+	}
+	if p.CaughtUp() {
+		t.Fatal("catch-up cannot be resolved before a response")
+	}
+}

@@ -51,6 +51,13 @@ type Stream struct {
 	statsMu sync.Mutex
 	stats   Stats
 
+	// Late-join bookkeeping: late marks peers Listen neither dials nor waits
+	// for (a background acceptor admits them whenever they arrive); joiner
+	// marks this endpoint as one of those late peers, dialing everyone.
+	late        map[model.NodeID]bool
+	joiner      bool
+	startupDone chan struct{}
+
 	frames chan Frame
 	errs   chan error
 	closed chan struct{}
@@ -103,10 +110,35 @@ func WithBatching(p BatchPolicy) StreamOption {
 	return func(s *Stream) { s.policy = p.normalized() }
 }
 
+// WithLateJoiners declares peers expected to join after the mesh starts:
+// Listen neither dials nor waits for them, and a background acceptor admits
+// each one whenever it arrives — handshaked like any peer. Broadcasts made
+// before a late peer's admission simply never reach it; the snapshot
+// catch-up protocol (Peer.CatchUp) is how it recovers that history.
+func WithLateJoiners(ids ...model.NodeID) StreamOption {
+	return func(s *Stream) {
+		if s.late == nil {
+			s.late = map[model.NodeID]bool{}
+		}
+		for _, id := range ids {
+			s.late[id] = true
+		}
+	}
+}
+
+// AsLateJoiner marks this endpoint as a late joiner: Listen dials every
+// other peer, whatever its number, instead of splitting dial/accept by rank
+// — the mesh is already up, so everyone is dialable. The running peers must
+// have declared this node with WithLateJoiners.
+func AsLateJoiner() StreamOption {
+	return func(s *Stream) { s.joiner = true }
+}
+
 // handshake magic: distinguishes a peer of this protocol from a stray
 // connection before trusting its node ID. The trailing byte versions the
-// wire format; \x02 is the batch-container framing.
-var streamMagic = []byte("crdt-repl\x02")
+// wire format; \x03 adds the snapshot-request/response frames and the
+// acknowledgement deps on done frames.
+var streamMagic = []byte("crdt-repl\x03")
 
 // Listen opens node self's endpoint of a replication group whose node i
 // listens on addrs[i] (each "unix:/path" or "tcp:host:port"). It blocks
@@ -128,12 +160,21 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 		frames:      make(chan Frame, 64),
 		errs:        make(chan error, len(addrs)),
 		closed:      make(chan struct{}),
+		startupDone: make(chan struct{}),
 		hungCh:      make(chan struct{}, len(addrs)),
 	}
 	s.stats.Sent = make([]PeerIO, len(addrs))
 	s.stats.Recv = make([]PeerIO, len(addrs))
 	for _, o := range opts {
 		o(s)
+	}
+	if s.joiner && len(s.late) > 0 {
+		return nil, fmt.Errorf("transport: a late joiner does not declare late joiners of its own")
+	}
+	for id := range s.late {
+		if int(id) < 0 || int(id) >= len(addrs) || id == self {
+			return nil, fmt.Errorf("transport: late joiner %s outside the %d-entry address table", id, len(addrs))
+		}
 	}
 	for _, a := range addrs {
 		pa, err := parseAddr(a)
@@ -142,6 +183,9 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 		}
 		s.addrs = append(s.addrs, pa)
 	}
+	// Every peer in the table counts: a late joiner that has not arrived yet
+	// must still be waited for before Recv reports exhaustion.
+	s.peerCnt = len(addrs) - 1
 	ln, err := net.Listen(s.addrs[self].network, s.addrs[self].address)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", s.addrs[self], err)
@@ -149,43 +193,38 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 	s.ln = ln
 	const dialTimeout = 15 * time.Second
 	deadline := time.Now().Add(dialTimeout)
-	// Accept connections from higher-numbered peers in the background while
-	// dialing the lower-numbered ones.
-	type accepted struct {
-		peer model.NodeID
-		c    net.Conn
-		err  error
-	}
-	wantAccepts := len(addrs) - 1 - int(self)
-	acceptCh := make(chan accepted, wantAccepts)
-	if wantAccepts > 0 {
-		go func() {
-			for i := 0; i < wantAccepts; i++ {
-				c, err := ln.Accept()
-				if err != nil {
-					acceptCh <- accepted{err: err}
-					return
-				}
-				peer, err := acceptHandshake(c, deadline)
-				if err != nil {
-					c.Close()
-					acceptCh <- accepted{err: err}
-					return
-				}
-				acceptCh <- accepted{peer: peer, c: c}
+	// Accept connections in the background while dialing: higher-numbered
+	// mesh peers during startup, declared late joiners whenever they arrive.
+	wantAccepts := 0
+	if !s.joiner {
+		for peer := int(self) + 1; peer < len(addrs); peer++ {
+			if !s.late[model.NodeID(peer)] {
+				wantAccepts++
 			}
-		}()
+		}
+	}
+	acceptCh := make(chan accepted, len(addrs))
+	if wantAccepts > 0 || (len(s.late) > 0 && !s.joiner) {
+		s.wg.Add(1)
+		go s.acceptLoop(acceptCh, deadline)
 	}
 	fail := func(err error) (*Stream, error) {
 		s.Close()
 		return nil, err
 	}
-	for peer := 0; peer < int(self); peer++ {
+	for peer := 0; peer < len(addrs); peer++ {
+		id := model.NodeID(peer)
+		if id == self || s.late[id] {
+			continue
+		}
+		if !s.joiner && peer > int(self) {
+			continue // startup accepts handle the higher-numbered mesh peers
+		}
 		c, err := dialPeer(s.addrs[peer], self, deadline)
 		if err != nil {
 			return fail(err)
 		}
-		s.conns[peer] = c
+		s.admit(id, c)
 	}
 	for i := 0; i < wantAccepts; i++ {
 		select {
@@ -193,25 +232,125 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 			if a.err != nil {
 				return fail(fmt.Errorf("transport: accepting peers on %s: %w", s.addrs[self], a.err))
 			}
-			if int(a.peer) <= int(self) || int(a.peer) >= len(addrs) || s.conns[a.peer] != nil {
+			if int(a.peer) <= int(self) || int(a.peer) >= len(addrs) || s.late[a.peer] || s.hasConn(a.peer) {
 				a.c.Close()
 				return fail(fmt.Errorf("transport: unexpected handshake from node %s", a.peer))
 			}
-			s.conns[a.peer] = a.c
+			s.admit(a.peer, a.c)
 		case <-time.After(time.Until(deadline)):
 			return fail(fmt.Errorf("transport: %w: %d peer(s) never connected to %s",
 				ErrTimeout, wantAccepts-i, s.addrs[self]))
 		}
 	}
-	for peer, c := range s.conns {
-		if c == nil {
+	close(s.startupDone)
+	return s, nil
+}
+
+// accepted is one handshaked (or failed) inbound connection handed from the
+// accept loop to Listen's startup phase.
+type accepted struct {
+	peer model.NodeID
+	c    net.Conn
+	err  error
+}
+
+// acceptLoop accepts inbound connections until the endpoint closes. Declared
+// late joiners are admitted directly, whenever they arrive; everything else
+// is handed to Listen's startup phase, and closed once startup is over (the
+// mesh is complete — only late joiners may still connect).
+func (s *Stream) acceptLoop(acceptCh chan<- accepted, startupDeadline time.Time) {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+			case <-s.startupDone:
+			default:
+				select {
+				case acceptCh <- accepted{err: err}:
+				default:
+				}
+			}
+			return
+		}
+		// Handshake deadline: the startup deadline for mesh peers, floored so
+		// a late joiner arriving afterwards still gets a full window.
+		hsDeadline := startupDeadline
+		if floor := time.Now().Add(5 * time.Second); hsDeadline.Before(floor) {
+			hsDeadline = floor
+		}
+		peer, err := acceptHandshake(c, hsDeadline)
+		if err != nil {
+			c.Close()
+			select {
+			case <-s.startupDone:
+				continue // a stray post-startup connection; keep serving
+			default:
+			}
+			select {
+			case acceptCh <- accepted{err: err}:
+			default:
+			}
+			return
+		}
+		if s.late[peer] {
+			if !s.admit(peer, c) {
+				c.Close()
+			}
 			continue
 		}
-		s.peerCnt++
-		s.wg.Add(1)
-		go s.recvLoop(model.NodeID(peer), c)
+		select {
+		case <-s.startupDone:
+			c.Close() // the mesh is complete; only late joiners may connect
+		default:
+			acceptCh <- accepted{peer: peer, c: c}
+		}
 	}
-	return s, nil
+}
+
+// admit installs one handshaked peer connection and starts its receive
+// loop. It refuses duplicates and admissions after Close (the caller closes
+// the connection).
+func (s *Stream) admit(peer model.NodeID, c net.Conn) bool {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		return false
+	default:
+	}
+	if s.conns[peer] != nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.conns[peer] = c
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.recvLoop(peer, c)
+	return true
+}
+
+// hasConn reports whether a connection to peer is installed.
+func (s *Stream) hasConn(peer model.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns[peer] != nil
+}
+
+// ConnectedPeers returns the peers a connection is currently installed to —
+// the set the snapshot compaction frontier must wait for. A declared late
+// joiner appears once admitted.
+func (s *Stream) ConnectedPeers() []model.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]model.NodeID, 0, len(s.conns))
+	for peer, c := range s.conns {
+		if c != nil {
+			out = append(out, model.NodeID(peer))
+		}
+	}
+	return out
 }
 
 // hangup records one peer connection ending cleanly and wakes any blocked
@@ -458,12 +597,19 @@ func (s *Stream) flushLocked(trigger int) error {
 		s.stats.Flushes.Close++
 	}
 	s.statsMu.Unlock()
+	// Write to every healthy conn before reporting a failure: aborting on the
+	// first dead peer would silently starve the remaining ones of frames they
+	// were promised.
+	var firstErr error
 	for peer, c := range s.conns {
 		if c == nil {
 			continue
 		}
 		if _, err := c.Write(buf); err != nil {
-			return fmt.Errorf("transport: sending to node %d: %w", peer, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: sending to node %d: %w", peer, err)
+			}
+			continue
 		}
 		s.statsMu.Lock()
 		s.stats.Sent[peer].Frames += n
@@ -471,6 +617,41 @@ func (s *Stream) flushLocked(trigger int) error {
 		s.stats.Sent[peer].Bytes += len(buf)
 		s.statsMu.Unlock()
 	}
+	return firstErr
+}
+
+// Send ships one frame to exactly one peer (the Unicaster interface): the
+// snapshot protocol's response channel. The pending broadcast batch is
+// flushed first so the unicast cannot overtake broadcasts queued before it
+// on the same connection.
+func (s *Stream) Send(to model.NodeID, f Frame) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(to) < 0 || int(to) >= len(s.addrs) || to == s.self {
+		return fmt.Errorf("transport: cannot unicast to node %s", to)
+	}
+	c := s.conns[to]
+	if c == nil {
+		return fmt.Errorf("transport: no connection to node %s", to)
+	}
+	if err := s.flushLocked(trigExplicit); err != nil {
+		return err
+	}
+	body := EncodeBatch([]Frame{f})
+	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
+	if _, err := c.Write(buf); err != nil {
+		return fmt.Errorf("transport: sending to node %s: %w", to, err)
+	}
+	s.statsMu.Lock()
+	s.stats.Sent[to].Frames++
+	s.stats.Sent[to].Batches++
+	s.stats.Sent[to].Bytes += len(buf)
+	s.statsMu.Unlock()
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/crdts/registry"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/transport"
 )
 
@@ -232,6 +233,181 @@ func TestStreamAddrValidation(t *testing.T) {
 	}
 }
 
+// snapScript is the always-effectful share script the snapshot catch-up
+// tests replicate: six counter increments per node, round-robin. Counter ops
+// never skip on preconditions, which makes the compaction assertions
+// deterministic: by connection FIFO every peer's effector frames precede its
+// Done frame, so the Done-triggered compaction at the other early peer always
+// finds them acknowledged and truncates. (Algorithms whose ops can skip are
+// covered by the conformance battery's socket snapshot catch-up item.)
+func snapScript(n int) sim.Script {
+	script := make(sim.Script, 0, 6*n)
+	for i := 0; i < 6*n; i++ {
+		script = append(script, sim.ScriptOp{
+			Node: model.NodeID(i % n),
+			Op:   model.Op{Name: spec.OpInc, Arg: model.Int(int64(1 + i))},
+		})
+	}
+	return script
+}
+
+// TestStreamLateJoinerCatchesUp runs the snapshot catch-up protocol over
+// real unix sockets inside one process: two early peers (one batched)
+// replicate their script share and compact under a SnapshotPolicy; a third
+// peer joins late — admitted by the background acceptor — catches up via
+// CatchUp/AwaitCatchUp, replicates its own share, and everyone must converge
+// byte-identically. The Every=0 leg serves the full log as suffix instead of
+// a checkpoint, and must converge to the same bytes.
+func TestStreamLateJoinerCatchesUp(t *testing.T) {
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	for _, leg := range []struct {
+		name  string
+		every int
+	}{
+		{"compacting", 3},
+		{"full-replay", 0},
+	} {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			const n = 3
+			script := snapScript(n)
+			addrs := unixAddrs(t, n)
+			type result struct {
+				state []byte
+				stats transport.SnapStats
+				err   error
+			}
+			results := make([]result, n)
+			// Early peers signal once they have each other's Done — their final
+			// pre-join compaction has run — so the joiner's snapshot request
+			// always finds a checkpoint in the compacting leg.
+			ready := make(chan struct{}, 2)
+			var wg sync.WaitGroup
+			early := func(id model.NodeID, opts ...transport.StreamOption) {
+				defer wg.Done()
+				res := &results[id]
+				st, err := transport.Listen(id, addrs, append([]transport.StreamOption{
+					transport.WithRecvTimeout(10 * time.Second), transport.WithLateJoiners(2)}, opts...)...)
+				if err != nil {
+					res.err = err
+					return
+				}
+				defer st.Close()
+				p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+					transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: leg.every}))
+				for _, so := range script {
+					if so.Node != id {
+						continue
+					}
+					if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						res.err = err
+						return
+					}
+					if _, err := p.Step(false); err != nil {
+						res.err = err
+						return
+					}
+				}
+				if err := p.Done(); err != nil {
+					res.err = err
+					return
+				}
+				for p.DonePeers() < 1 {
+					if _, err := p.Step(true); err != nil {
+						res.err = err
+						return
+					}
+				}
+				ready <- struct{}{}
+				if err := p.RunToQuiescence(20 * time.Second); err != nil {
+					res.err = err
+					return
+				}
+				res.state, res.stats = p.CanonicalState(), p.SnapshotStats()
+			}
+			wg.Add(3)
+			go early(0)
+			go early(1, transport.WithBatching(transport.BatchPolicy{MaxFrames: 6, MaxDelay: 3 * time.Millisecond}))
+			go func() {
+				defer wg.Done()
+				res := &results[2]
+				<-ready
+				<-ready
+				st, err := transport.Listen(2, addrs,
+					transport.WithRecvTimeout(10*time.Second), transport.AsLateJoiner())
+				if err != nil {
+					res.err = err
+					return
+				}
+				defer st.Close()
+				p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+					transport.WithCatchUp(alg.DecodeState))
+				if err := p.CatchUp(); err != nil {
+					res.err = err
+					return
+				}
+				if err := p.AwaitCatchUp(10 * time.Second); err != nil {
+					res.err = err
+					return
+				}
+				for _, so := range script {
+					if so.Node != 2 {
+						continue
+					}
+					if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+						res.err = err
+						return
+					}
+					if _, err := p.Step(false); err != nil {
+						res.err = err
+						return
+					}
+				}
+				if err := p.Done(); err != nil {
+					res.err = err
+					return
+				}
+				if err := p.RunToQuiescence(20 * time.Second); err != nil {
+					res.err = err
+					return
+				}
+				res.state, res.stats = p.CanonicalState(), p.SnapshotStats()
+			}()
+			wg.Wait()
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("peer %d: %v", i, r.err)
+				}
+			}
+			for i := 1; i < n; i++ {
+				if !bytes.Equal(results[i].state, results[0].state) {
+					t.Fatalf("peer %d's canonical state differs from peer 0's", i)
+				}
+			}
+			js := results[2].stats
+			if !js.Installed || js.FellBack {
+				t.Fatalf("joiner did not install a snapshot: %+v", js)
+			}
+			if leg.every > 0 {
+				if js.InstallCovered == 0 {
+					t.Fatalf("compacting leg installed nothing via the checkpoint: %+v", js)
+				}
+				for i := 0; i < 2; i++ {
+					es := results[i].stats
+					if es.Checkpoints == 0 || es.LogTruncated == 0 {
+						t.Fatalf("early peer %d never compacted: %+v", i, es)
+					}
+				}
+			} else if js.InstallCovered != 0 || js.InstallSuffix == 0 {
+				t.Fatalf("full-replay leg should serve everything as suffix: %+v", js)
+			}
+		})
+	}
+}
+
 const (
 	peerHelperEnv   = "CRDT_STREAM_PEER_HELPER"
 	peerHelperBatch = "CRDT_STREAM_PEER_BATCH"
@@ -388,4 +564,238 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+const (
+	snapHelperEnv  = "CRDT_STREAM_SNAP_HELPER"
+	snapHelperMark = "SNAP-STATS "
+)
+
+// TestStreamSnapProcessHelper is not a test on its own: re-executed as a
+// child by TestStreamThreeOSProcessSnapshotCatchUp, it runs one of three
+// socket peers replicating snapScript. Peers 0 and 1 start together (1 with
+// write batching), compact under the snapshot policy, and touch a ready file
+// once they hold each other's Done — their final pre-join compaction has run.
+// The last peer waits for every ready file before it even listens, then joins
+// late and catches up via the snapshot protocol. Each child prints its
+// canonical state and its snapshot counters.
+func TestStreamSnapProcessHelper(t *testing.T) {
+	cfg := os.Getenv(snapHelperEnv)
+	if cfg == "" {
+		t.Skip("helper: only runs re-executed as a peer child process")
+	}
+	parts := strings.Split(cfg, ";")
+	if len(parts) != 4 {
+		t.Fatalf("bad helper config %q", cfg)
+	}
+	id, errID := strconv.Atoi(parts[0])
+	every, errEvery := strconv.Atoi(parts[1])
+	readyDir := parts[2]
+	addrs := strings.Split(parts[3], ",")
+	if errID != nil || errEvery != nil || len(addrs) < 3 {
+		t.Fatalf("bad helper config %q", cfg)
+	}
+	alg, ok := registry.ByName("counter")
+	if !ok {
+		t.Fatal("counter not registered")
+	}
+	script := snapScript(len(addrs))
+	joiner := model.NodeID(len(addrs) - 1)
+
+	var st *transport.Stream
+	var p *transport.Peer
+	var err error
+	if model.NodeID(id) == joiner {
+		deadline := time.Now().Add(20 * time.Second)
+		for waiting := true; waiting; {
+			waiting = false
+			for i := 0; i < len(addrs)-1; i++ {
+				if _, err := os.Stat(filepath.Join(readyDir, fmt.Sprintf("ready-%d", i))); err != nil {
+					waiting = true
+				}
+			}
+			if waiting {
+				if time.Now().After(deadline) {
+					t.Fatal("early peers never signalled ready")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		st, err = transport.Listen(joiner, addrs,
+			transport.WithRecvTimeout(20*time.Second), transport.AsLateJoiner())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		p = transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+			transport.WithCatchUp(alg.DecodeState))
+		if err := p.CatchUp(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AwaitCatchUp(15 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		opts := []transport.StreamOption{
+			transport.WithRecvTimeout(20 * time.Second), transport.WithLateJoiners(joiner),
+		}
+		if id == 1 {
+			opts = append(opts, transport.WithBatching(transport.BatchPolicy{MaxFrames: 6, MaxDelay: 3 * time.Millisecond}))
+		}
+		st, err = transport.Listen(model.NodeID(id), addrs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		p = transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal,
+			transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: every}))
+	}
+	for _, so := range script {
+		if so.Node != model.NodeID(id) {
+			continue
+		}
+		if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+			t.Fatal(err)
+		}
+		if _, err := p.Step(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if model.NodeID(id) != joiner {
+		for p.DonePeers() < 1 {
+			if _, err := p.Step(true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(readyDir, fmt.Sprintf("ready-%d", id)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.RunToQuiescence(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(peerHelperMark + hex.EncodeToString(p.CanonicalState()))
+	ss := p.SnapshotStats()
+	fmt.Printf("%sinstalled=%t covered=%d suffix=%d checkpoints=%d truncated=%d retained=%d\n",
+		snapHelperMark, ss.Installed, ss.InstallCovered, ss.InstallSuffix,
+		ss.Checkpoints, ss.LogTruncated, ss.LogRetained)
+}
+
+// snapStatsLine parses the helper's SNAP-STATS key=value line into a map.
+func snapStatsLine(t *testing.T, out string) map[string]string {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), snapHelperMark)
+		if !ok {
+			continue
+		}
+		stats := map[string]string{}
+		for _, kv := range strings.Fields(line) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				t.Fatalf("bad stats field %q in line %q", kv, line)
+			}
+			stats[k] = v
+		}
+		return stats
+	}
+	t.Fatalf("child printed no snapshot stats:\n%s", out)
+	return nil
+}
+
+// TestStreamThreeOSProcessSnapshotCatchUp is the cross-process acceptance
+// check for state transfer: three real OS processes replicate a counter over
+// unix sockets with compaction every 3 applied frames and write batching on
+// one early leg. The third process joins only after both early processes have
+// compacted, so it must catch up through a served checkpoint — and all three
+// must print the byte-identical canonical state. The early peers' counters
+// must show the log was actually truncated (bounded), not merely replayed.
+func TestStreamThreeOSProcessSnapshotCatchUp(t *testing.T) {
+	if os.Getenv(peerHelperEnv) != "" || os.Getenv(snapHelperEnv) != "" {
+		t.Skip("already inside a helper child")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	dir := t.TempDir()
+	readyDir := filepath.Join(dir, "ready")
+	if err := os.Mkdir(readyDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+	}
+	outs := make([]string, n)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(bin, "-test.run", "TestStreamSnapProcessHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				fmt.Sprintf("%s=%d;%d;%s;%s", snapHelperEnv, i, 3, readyDir, strings.Join(addrs, ",")))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				errCh <- fmt.Errorf("child %d: %v\n%s", i, err, out)
+				return
+			}
+			outs[i] = string(out)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	states := make([]string, n)
+	for i, out := range outs {
+		sc := bufio.NewScanner(strings.NewReader(out))
+		for sc.Scan() {
+			if s, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), peerHelperMark); ok {
+				states[i] = s
+			}
+		}
+		if states[i] == "" {
+			t.Fatalf("child %d printed no canonical state:\n%s", i, out)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if states[i] != states[0] {
+			t.Fatalf("process %d diverged:\n p0: %s\n p%d: %s", i, states[0], i, states[i])
+		}
+	}
+	atoi := func(stats map[string]string, key string) int {
+		v, err := strconv.Atoi(stats[key])
+		if err != nil {
+			t.Fatalf("stats key %s = %q: %v", key, stats[key], err)
+		}
+		return v
+	}
+	js := snapStatsLine(t, outs[n-1])
+	if js["installed"] != "true" || atoi(js, "covered") == 0 {
+		t.Fatalf("joiner did not catch up through a checkpoint: %v", js)
+	}
+	total := len(snapScript(n))
+	for i := 0; i < n-1; i++ {
+		es := snapStatsLine(t, outs[i])
+		if atoi(es, "checkpoints") == 0 || atoi(es, "truncated") == 0 {
+			t.Fatalf("early process %d never compacted: %v", i, es)
+		}
+		// The bound that proves compaction ran: the retained log plus what was
+		// truncated accounts for every effectful frame, and the retained part
+		// is strictly smaller than the full history a replay would need.
+		if retained := atoi(es, "retained"); retained >= total {
+			t.Fatalf("early process %d retained %d frames, want < %d (log unbounded)", i, retained, total)
+		}
+	}
+	t.Logf("three processes converged to %s…; joiner stats %v", states[0][:min(16, len(states[0]))], js)
 }

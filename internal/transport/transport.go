@@ -22,26 +22,54 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/model"
 )
 
 // Frame payload kinds. The kind byte is the first field of the inner frame
-// encoding; unknown kinds are rejected at decode time.
+// encoding; unknown kinds are rejected at decode time against the kindNames
+// registry below — adding a kind means adding it there, and every validation
+// site picks it up.
 const (
 	// KindEffector frames carry one canonically encoded effector
 	// (Effector.AppendBinary), the broadcast of one operation's second phase.
 	KindEffector byte = 1
-	// KindSnapshot frames carry one canonically encoded replica state
-	// (State.AppendBinary): the snapshot-based state transfer used to resync
-	// a fresh replica without replaying the whole broadcast log.
+	// KindSnapshot frames carry one snapshot response (see Snapshot): the
+	// serving peer's checkpoint state plus the retained effector suffix, the
+	// state transfer that lets a fresh replica catch up without replaying the
+	// whole broadcast log.
 	KindSnapshot byte = 2
-	// KindDone frames carry no payload; MID holds the origin's count of
-	// effectful broadcasts. Peers use them to detect quiescence: once every
-	// peer has announced its count and every announced frame has been
-	// applied, the object is stable.
+	// KindDone frames carry the origin's count of effectful broadcasts in the
+	// payload. Peers use them to detect quiescence: once every peer has
+	// announced its count and every announced frame has been applied, the
+	// object is stable.
 	KindDone byte = 3
+	// KindSnapshotRequest frames carry no payload: a late-joining peer asks
+	// every peer for a snapshot response right after the handshake.
+	KindSnapshotRequest byte = 4
 )
+
+// kindNames is the registry of valid frame kinds. Decode and the peer state
+// machine both validate against it, so a new kind constant cannot silently
+// miss a validation site.
+var kindNames = map[byte]string{
+	KindEffector:        "effector",
+	KindSnapshot:        "snapshot",
+	KindDone:            "done",
+	KindSnapshotRequest: "snapshot-request",
+}
+
+// KindValid reports whether k is a registered frame kind.
+func KindValid(k byte) bool { _, ok := kindNames[k]; return ok }
+
+// KindName renders a frame kind for diagnostics.
+func KindName(k byte) string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown(%d)", k)
+}
 
 // Frame is one addressed wire message: routing metadata plus an opaque
 // canonical payload. Deps carries the origin's causal dependency set (the
@@ -81,4 +109,21 @@ type Transport interface {
 	Recv(wait bool) (f Frame, ok bool, err error)
 	// Close releases the endpoint. Further operations fail with ErrClosed.
 	Close() error
+}
+
+// Unicaster is implemented by transports that can address a single peer.
+// The snapshot protocol needs it: a served state goes to the requester
+// alone, not the whole group.
+type Unicaster interface {
+	// Send ships one frame from Self to exactly one peer.
+	Send(to model.NodeID, f Frame) error
+}
+
+// PeerLister is implemented by transports that know which peers are
+// currently connected (the socket Stream with late joiners admitted over
+// time). The compaction frontier only truncates frames every *connected*
+// peer has acknowledged; a transport without the interface is treated as
+// fully connected.
+type PeerLister interface {
+	ConnectedPeers() []model.NodeID
 }
