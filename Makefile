@@ -47,11 +47,12 @@ chaos:
 		go run ./cmd/crdt-sim -chaos -algo $$a -nodes 3 -ops 10 -seed 1 -seeds 3 | tail -1; done
 	go test -run '^$$' -fuzz '^FuzzClusterDelivery$$' -fuzztime 30s ./internal/sim/
 
-# Mirror of CI's socket-transport smoke: the in-repo two-OS-process test,
-# then the crdt-sim two-process unix demo, checking byte-identical canonical
-# states.
+# Mirror of CI's socket-transport smoke: the in-repo two-OS-process test plus
+# the node/manifest multiplexing tests, the crdt-sim two-process unix demo,
+# and a two-process multi-object demo (four mixed-kind objects over one
+# socket pair), checking byte-identical canonical states per object.
 sockets:
-	go test -run 'TestStream' ./internal/transport/
+	go test -run 'TestStream|TestNode|TestManifest' ./internal/transport/
 	@D=$$(mktemp -d); \
 	go build -o "$$D/crdt-sim" ./cmd/crdt-sim; \
 	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 0 -algo rga -ops 20 -seed 7 > "$$D/p0.log" & \
@@ -61,6 +62,18 @@ sockets:
 	s0=$$(awk '/canonical state/{print $$NF}' "$$D/p0.log"); \
 	s1=$$(awk '/canonical state/{print $$NF}' "$$D/p1.log"); \
 	[ -n "$$s0" ] && [ "$$s0" = "$$s1" ] || { echo "canonical states diverged"; exit 1; }
+	@D=$$(mktemp -d); \
+	go build -o "$$D/crdt-sim" ./cmd/crdt-sim; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 0 -objects 4 -mixed -ops 12 -seed 7 -batch-frames 4 -flush-every 3ms > "$$D/p0.log" & \
+	sleep 0.2; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 1 -objects 4 -mixed -ops 12 -seed 7 > "$$D/p1.log"; \
+	wait; cat "$$D/p0.log" "$$D/p1.log"; \
+	for o in 1 2 3 4; do \
+		s0=$$(awk -v o="$$o" '$$3=="obj" && $$4==o && /canonical state/{print $$NF}' "$$D/p0.log"); \
+		s1=$$(awk -v o="$$o" '$$3=="obj" && $$4==o && /canonical state/{print $$NF}' "$$D/p1.log"); \
+		[ -n "$$s0" ] && [ "$$s0" = "$$s1" ] || { echo "object $$o diverged"; exit 1; }; \
+	done; \
+	grep -q 'over 1 connection(s)' "$$D/p0.log" || { echo "node 0 opened more than one socket pair"; exit 1; }
 
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzCheckACC$$' -fuzztime 30s ./internal/core/

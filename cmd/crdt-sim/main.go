@@ -56,6 +56,22 @@
 // All three print the byte-identical canonical state, and the early nodes'
 // snapshot stats show the log stayed bounded.
 //
+// With -objects N a socket process replicates N independent objects
+// multiplexed over the same mesh: one socket pair per process pair carries
+// every object's frames (object-scoped, coalescing into shared batches), and
+// the handshake exchanges a manifest both sides validate. By default every
+// object runs -algo; -mixed cycles the objects through different algorithms
+// and additionally prints a product state reassembled at read time from the
+// first two objects' independently replicated components. Late joiners
+// catch up per object through the one shared socket pair:
+//
+//	crdt-sim -transport tcp -addrs h0:9000,h1:9001 -node 0 -objects 4 -mixed -ops 16 -seed 7 &
+//	crdt-sim -transport tcp -addrs h0:9000,h1:9001 -node 1 -objects 4 -mixed -ops 16 -seed 7
+//
+// Each process prints one per-object state line (byte-identical across
+// processes), a per-object transport-frame breakdown whose counters must sum
+// exactly to the per-peer wire totals, and the product state.
+//
 // Chaos fault injection needs the deterministic in-memory transport and
 // refuses to combine with sockets.
 package main
@@ -74,6 +90,7 @@ import (
 	"repro/internal/crdt"
 	"repro/internal/crdts/registry"
 	"repro/internal/model"
+	"repro/internal/product"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -107,6 +124,9 @@ func main() {
 		batchFrames = flag.Int("batch-frames", 0, "socket transports: coalesce up to N queued broadcasts into one wire write (0 = unbatched)")
 		batchBytes  = flag.Int("batch-bytes", 0, "socket transports: flush the pending batch once it reaches B bytes of nested frames (0 = no byte cap)")
 		flushEvery  = flag.Duration("flush-every", 0, "socket transports: flush the pending batch at most this long after its first frame queued (0 = no delay timer)")
+
+		objects = flag.Int("objects", 1, "socket transports: replicate N independent objects multiplexed over the one socket mesh (manifest object ids 1..N)")
+		mixed   = flag.Bool("mixed", false, "socket transports: with -objects, cycle the objects through different algorithms and print a product reassembled from the first two")
 	)
 	flag.Parse()
 	fail := func(format string, args ...any) {
@@ -135,6 +155,9 @@ func main() {
 		if *latePeers != "" || *catchUp {
 			fail("-late-peers and -catch-up apply to socket transports: pass -transport unix or -transport tcp")
 		}
+		if *objects != 1 || *mixed {
+			fail("-objects and -mixed apply to socket transports: pass -transport unix or -transport tcp")
+		}
 	case "unix", "tcp":
 		if *chaos {
 			fail("chaos fault injection needs the deterministic in-memory transport: drop -chaos or use -transport mem")
@@ -148,6 +171,15 @@ func main() {
 		late, err := parseLatePeers(*latePeers)
 		if err != nil {
 			fail("%v", err)
+		}
+		if *objects < 1 {
+			fail("-objects must be at least 1 (got %d)", *objects)
+		}
+		if *mixed && *objects < 2 {
+			fail("-mixed needs -objects of at least 2 to mix algorithms")
+		}
+		if *objects > 1 {
+			os.Exit(runPeerMulti(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, *snap, late, *catchUp, *objects, *mixed))
 		}
 		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, *snap, late, *catchUp))
 	default:
@@ -268,6 +300,168 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 			ss.Installed, ss.InstallCovered, ss.InstallSuffix, ss.FellBack)
 	}
 	fmt.Printf("node %d: canonical state %s\n", node, hex.EncodeToString(p.CanonicalState()))
+	return 0
+}
+
+// mixedKinds is the algorithm rotation -mixed assigns to objects 1..N.
+var mixedKinds = []string{"counter", "g-set", "lww-register", "rga"}
+
+// multiManifest builds the shared manifest for -objects N: object ids 1..N
+// (nonzero on purpose — the ids travel in every frame), each declaring the
+// algorithm the processes must agree on.
+func multiManifest(alg registry.Algorithm, objects int, mixed bool) transport.Manifest {
+	man := make(transport.Manifest, objects)
+	for i := 0; i < objects; i++ {
+		kind := alg.Name
+		if mixed {
+			kind = mixedKinds[i%len(mixedKinds)]
+		}
+		man[i] = transport.ObjectSpec{ID: transport.ObjID(i + 1), Name: fmt.Sprintf("obj%d", i+1), Kind: kind}
+	}
+	return man
+}
+
+// runPeerMulti runs one node of a multi-object socket mesh: N objects
+// multiplexed over one transport.Node demux on one shared endpoint, each
+// replicating its own deterministically generated script. Every process must
+// be started with the same -algo/-objects/-mixed/-ops/-seed/-addrs so the
+// handshake manifests agree. Prints one state line per object (byte-identical
+// across processes), the per-object transport-frame breakdown (whose sums
+// must balance the per-peer wire totals — checked here, not just printed),
+// and with -mixed a product state reassembled from the first two objects.
+func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, snapEvery int, late []model.NodeID, catchUp bool, objects int, mixed bool) int {
+	if len(addrList) < 2 {
+		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
+		return 2
+	}
+	if node < 0 || node >= len(addrList) {
+		fmt.Fprintf(os.Stderr, "crdt-sim: -node %d is not an index into the %d-entry -addrs table\n", node, len(addrList))
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: "+format+"\n", append([]any{node}, args...)...)
+		return 1
+	}
+	full := make([]string, len(addrList))
+	for i, a := range addrList {
+		full[i] = network + ":" + strings.TrimSpace(a)
+	}
+	man := multiManifest(alg, objects, mixed)
+	algs := make([]registry.Algorithm, objects)
+	scripts := make([]sim.Script, objects)
+	for oi, spec := range man {
+		a, ok := registry.ByName(spec.Kind)
+		if !ok {
+			return fail("object %d: unknown algorithm %q", spec.ID, spec.Kind)
+		}
+		algs[oi] = a
+		scripts[oi] = sim.GenScript(a.New(), a.Abs, sim.GenFunc(a.GenOp), len(addrList), ops, seed+int64(oi), a.NeedsCausal)
+	}
+	sopts := []transport.StreamOption{
+		transport.WithRecvTimeout(30 * time.Second),
+		transport.WithBatching(policy),
+		transport.WithManifest(man),
+	}
+	switch {
+	case catchUp:
+		sopts = append(sopts, transport.AsLateJoiner())
+	case len(late) > 0:
+		sopts = append(sopts, transport.WithLateJoiners(late...))
+	}
+	st, err := transport.Listen(model.NodeID(node), full, sopts...)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer st.Close()
+	n, err := transport.NewNode(st, man)
+	if err != nil {
+		return fail("%v", err)
+	}
+	for oi, spec := range man {
+		var popts []transport.PeerOption
+		if !catchUp && (snapEvery > 0 || len(late) > 0) {
+			popts = append(popts, transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: snapEvery}))
+		}
+		if catchUp {
+			popts = append(popts, transport.WithCatchUp(algs[oi].DecodeState))
+		}
+		if _, err := n.Register(spec.ID, algs[oi].New(), algs[oi].DecodeEffector, algs[oi].NeedsCausal, popts...); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if catchUp {
+		if err := n.CatchUp(); err != nil {
+			return fail("%v", err)
+		}
+		if err := n.AwaitCatchUp(60 * time.Second); err != nil {
+			return fail("catch-up: %v", err)
+		}
+	}
+	// Interleave the objects' shares so their frames coalesce into the same
+	// batches: operation k of every object before operation k+1 of any.
+	for so := 0; so < ops; so++ {
+		for oi, spec := range man {
+			if so >= len(scripts[oi]) {
+				continue
+			}
+			sop := scripts[oi][so]
+			if sop.Node != model.NodeID(node) {
+				continue
+			}
+			p, _ := n.Peer(spec.ID)
+			if _, err := p.Invoke(sop.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+				return fail("object %d: invoke %v: %v", spec.ID, sop.Op, err)
+			}
+			if _, err := n.Step(false); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+	for _, obj := range n.Objects() {
+		p, _ := n.Peer(obj)
+		if err := p.Done(); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if err := n.RunToQuiescence(60 * time.Second); err != nil {
+		return fail("%v", err)
+	}
+	for oi, spec := range man {
+		p, _ := n.Peer(spec.ID)
+		fmt.Printf("node %d: obj %d (%s) quiescent over %s (issued %d, applied %d remote), φ(state) = %s\n",
+			node, spec.ID, spec.Kind, network, p.Issued(), p.Applied(), algs[oi].Abs(p.State()))
+		if catchUp || snapEvery > 0 || len(late) > 0 {
+			ss := p.SnapshotStats()
+			fmt.Printf("node %d: obj %d snapshots: checkpoints=%d truncated=%d retained=%d served=%d installed=%t covered=%d suffix=%d fellback=%t\n",
+				node, spec.ID, ss.Checkpoints, ss.LogTruncated, ss.LogRetained, ss.Served,
+				ss.Installed, ss.InstallCovered, ss.InstallSuffix, ss.FellBack)
+		}
+		fmt.Printf("node %d: obj %d canonical state %s\n", node, spec.ID, hex.EncodeToString(p.CanonicalState()))
+	}
+	ts := st.Stats()
+	sent, recv := ts.TotalSent(), ts.TotalRecv()
+	fmt.Printf("node %d: transport sent %d frames in %d batches (%d B), received %d frames in %d batches (%d B) over %d connection(s)\n",
+		node, sent.Frames, sent.Batches, sent.Bytes, recv.Frames, recv.Batches, recv.Bytes, len(st.ConnectedPeers()))
+	var sentObj, recvObj int
+	parts := make([]string, 0, len(man))
+	for _, spec := range man {
+		io := ts.Objects[spec.ID]
+		sentObj += io.SentFrames
+		recvObj += io.RecvFrames
+		parts = append(parts, fmt.Sprintf("%d:%d/%d", spec.ID, io.SentFrames, io.RecvFrames))
+	}
+	fmt.Printf("node %d: per-object frames (sent/recv): %s\n", node, strings.Join(parts, " "))
+	if sentObj != sent.Frames || recvObj != recv.Frames {
+		return fail("per-object frame counters (sent %d, recv %d) do not sum to the per-peer totals (sent %d, recv %d)",
+			sentObj, recvObj, sent.Frames, recv.Frames)
+	}
+	if mixed {
+		p1, _ := n.Peer(man[0].ID)
+		p2, _ := n.Peer(man[1].ID)
+		prod := product.State{Parts: []crdt.State{p1.State(), p2.State()}}
+		fmt.Printf("node %d: product(%s×%s) canonical state %s\n",
+			node, man[0].Kind, man[1].Kind, hex.EncodeToString(prod.AppendBinary(nil)))
+	}
 	return 0
 }
 

@@ -27,11 +27,19 @@
 //     checkpoint + retained log suffix) reaches canonical states
 //     byte-identical to a full-log-replay join, deterministically on rerun,
 //     and the compacting run provably truncated its broadcast logs;
-//  10. codec round-trip: every op, return value, effector and replica state
+//  10. multi-object socket mesh: four replicated objects of mixed algorithms
+//     (including a product reassembled at read time from independently
+//     replicated components) multiplexed over one transport endpoint per
+//     node — batched shared-memory and live unix-socket legs — converge to
+//     byte-identical per-object canonical states, keep the per-object frame
+//     counters summing exactly to the per-peer wire totals, hold exactly one
+//     socket pair per process pair, and serve a late joiner a per-object
+//     snapshot catch-up over that one pair;
+//  11. codec round-trip: every op, return value, effector and replica state
 //     reached by drained runs survives decode(encode(x)) == x through the
 //     canonical binary codec, and converged replicas encode byte-equal
 //     (the canonical-form guarantee);
-//  11. contextual refinement on a client program (the Abstraction Theorem's
+//  12. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -202,6 +210,13 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// live mesh catches up through a served checkpoint plus retained suffix,
 	// and must be indistinguishable from one that replayed the full log.
 	add("socket snapshot catch-up", socketSnapshotChecks(alg, cfg))
+
+	// 6e. Multi-object socket mesh: four objects of mixed algorithms — this
+	// algorithm, a companion, and two product components reassembled at read
+	// time — multiplexed over one endpoint per node through the Node demux,
+	// over batched Mem endpoints and over a live unix-socket mesh whose third
+	// peer snapshot-catches-up on every object through one shared socket pair.
+	add("multi-object socket mesh", multiObjectChecks(alg, cfg))
 
 	// 7. Codec round-trip: the canonical binary encoding is lossless and
 	// canonical on everything drained runs reach — ops, return values,
@@ -834,6 +849,375 @@ func socketSnapshotChecks(alg registry.Algorithm, cfg Config) error {
 	}
 	if !bytes.Equal(rerun[0], snap[0]) {
 		return fmt.Errorf("compacting leg is not deterministic: rerun converged to a different canonical state")
+	}
+	return nil
+}
+
+// multiObjectChecks runs the multi-object mesh battery item: four replicated
+// objects of mixed algorithms — the algorithm under test, a second standalone
+// algorithm, and two components a product object reassembles at read time —
+// share one transport endpoint per node through the transport.Node demux, on
+// a three-node mesh. The item runs twice: over write-batching Mem endpoints
+// with a different flush policy per node, and over a live unix-socket mesh
+// whose third peer is a late joiner that snapshot-catches-up on every object
+// through the one shared socket pair.
+//
+// Both legs require byte-identical per-object canonical states on every
+// node, the read-time product reassembled from its independently replicated
+// components byte-equal everywhere, and the stats balance invariant: the
+// per-object frame counters sum exactly to the per-peer wire totals, because
+// one helper updates both views of the same frame. The socket leg
+// additionally requires exactly one connection per process pair (objects
+// multiply the traffic, not the sockets), a per-object snapshot install for
+// the joiner (no fallback), and — when both early peers issued frames for an
+// object — a compacted broadcast log for that object on both of them.
+func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
+	if alg.DecodeState == nil {
+		return fmt.Errorf("algorithm bundle registers no state decoder")
+	}
+	const nodes = 3
+	joiner := model.NodeID(nodes - 1)
+	ops := cfg.Steps / 8
+	if ops < 4 {
+		ops = 4
+	}
+	if ops > 8 {
+		ops = 8
+	}
+	// Mixed algorithms: the algorithm under test plus a standalone companion
+	// of a different kind, and the two product components.
+	companion := "counter"
+	if alg.Name == companion {
+		companion = "lww-register"
+	}
+	kinds := []string{alg.Name, companion, "counter", "g-set"}
+	man := transport.Manifest{
+		{ID: 1, Name: "subject", Kind: kinds[0]},
+		{ID: 2, Name: "companion", Kind: kinds[1]},
+		{ID: 3, Name: "cart.qty", Kind: kinds[2]},
+		{ID: 4, Name: "cart.items", Kind: kinds[3]},
+	}
+	algs := make([]registry.Algorithm, len(man))
+	scripts := make([]sim.Script, len(man))
+	for oi, ospec := range man {
+		a, ok := registry.ByName(ospec.Kind)
+		if !ok {
+			return fmt.Errorf("object %d: no algorithm %q in the registry", ospec.ID, ospec.Kind)
+		}
+		algs[oi] = a
+		scripts[oi] = sim.GenScript(a.New(), a.Abs, sim.GenFunc(a.GenOp), nodes, ops, 20+int64(oi), a.NeedsCausal)
+	}
+	register := func(n *transport.Node, opts func(oi int) []transport.PeerOption) error {
+		for oi, ospec := range man {
+			if _, err := n.Register(ospec.ID, algs[oi].New(), algs[oi].DecodeEffector, algs[oi].NeedsCausal, opts(oi)...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// checkConverged asserts the per-object and reassembled-product
+	// convergence shared by both legs; states is indexed [node][object].
+	checkConverged := func(states [][][]byte) error {
+		for oi, ospec := range man {
+			for id := 1; id < nodes; id++ {
+				if !bytes.Equal(states[id][oi], states[0][oi]) {
+					return fmt.Errorf("object %d (%s): node %d's canonical state differs from node 0's", ospec.ID, ospec.Kind, id)
+				}
+			}
+		}
+		var cart0 []byte
+		for id := 0; id < nodes; id++ {
+			cart := codec.AppendBytes(nil, states[id][2])
+			cart = codec.AppendBytes(cart, states[id][3])
+			if id == 0 {
+				cart0 = cart
+			} else if !bytes.Equal(cart, cart0) {
+				return fmt.Errorf("node %d: product reassembled from objects 3+4 differs from node 0's", id)
+			}
+		}
+		return nil
+	}
+	// checkBalance asserts the object-sum == per-peer-total stats invariant.
+	checkBalance := func(id int, st transport.Stats) error {
+		var sent, recv int
+		for _, io := range st.Objects {
+			sent += io.SentFrames
+			recv += io.RecvFrames
+		}
+		if sent != st.TotalSent().Frames || recv != st.TotalRecv().Frames {
+			return fmt.Errorf("node %d: per-object frame counters (sent %d, recv %d) do not sum to the per-peer totals (sent %d, recv %d)",
+				id, sent, recv, st.TotalSent().Frames, st.TotalRecv().Frames)
+		}
+		return nil
+	}
+
+	// Leg 1: shared-memory mesh, mixed flush policies, every object's
+	// operations interleaved through the shared batched endpoints.
+	memLeg := func() error {
+		policies := [nodes]transport.BatchPolicy{
+			{MaxFrames: 2},
+			{MaxFrames: 64, MaxBytes: 96},
+			{}, // unbatched control
+		}
+		m := transport.NewMem(nodes)
+		ns := make([]*transport.Node, nodes)
+		for i := range ns {
+			n, err := transport.NewNode(m.BatchedEndpoint(model.NodeID(i), policies[i]), man)
+			if err != nil {
+				return err
+			}
+			if err := register(n, func(int) []transport.PeerOption { return nil }); err != nil {
+				return err
+			}
+			ns[i] = n
+		}
+		sched := rand.New(rand.NewSource(21))
+		for so := 0; so < ops; so++ {
+			for oi, ospec := range man {
+				if so >= len(scripts[oi]) {
+					continue
+				}
+				sop := scripts[oi][so]
+				p, _ := ns[sop.Node].Peer(ospec.ID)
+				if _, err := p.Invoke(sop.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+					return fmt.Errorf("object %d: invoke %v at %s: %w", ospec.ID, sop.Op, sop.Node, err)
+				}
+				for k := sched.Intn(3); k > 0; k-- {
+					if _, err := ns[sched.Intn(nodes)].Step(false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, n := range ns {
+			for _, id := range n.Objects() {
+				p, _ := n.Peer(id)
+				if err := p.Done(); err != nil {
+					return err
+				}
+			}
+		}
+		states := make([][][]byte, nodes)
+		for i, n := range ns {
+			if err := n.RunToQuiescence(5 * time.Second); err != nil {
+				return fmt.Errorf("node %d: %w", i, err)
+			}
+			states[i] = make([][]byte, len(man))
+			for oi, ospec := range man {
+				p, _ := n.Peer(ospec.ID)
+				states[i][oi] = p.CanonicalState()
+			}
+		}
+		if err := checkConverged(states); err != nil {
+			return err
+		}
+		for i, n := range ns {
+			if err := checkBalance(i, n.Transport().(transport.StatsReporter).Stats()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Leg 2: live unix-socket mesh with a late joiner catching up on every
+	// object over the one shared socket pair per process pair.
+	unixLeg := func() error {
+		dir, err := os.MkdirTemp("", "crdt-multiobj-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		addrs := make([]string, nodes)
+		for i := range addrs {
+			addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+		}
+		states := make([][][]byte, nodes)
+		snaps := make([][]transport.SnapStats, nodes)
+		issued := make([][]int, nodes)
+		wire := make([]transport.Stats, nodes)
+		conns := make([]int, nodes)
+		errs := make([]error, nodes)
+		ready := make(chan error, 2*(nodes-1))
+		record := func(id model.NodeID, st *transport.Stream, n *transport.Node) {
+			states[id] = make([][]byte, len(man))
+			snaps[id] = make([]transport.SnapStats, len(man))
+			issued[id] = make([]int, len(man))
+			for oi, ospec := range man {
+				p, _ := n.Peer(ospec.ID)
+				states[id][oi] = p.CanonicalState()
+				snaps[id][oi] = p.SnapshotStats()
+				issued[id][oi] = p.Issued()
+			}
+			wire[id] = st.Stats()
+			conns[id] = len(st.ConnectedPeers())
+		}
+		var wg sync.WaitGroup
+		early := func(id model.NodeID) {
+			defer wg.Done()
+			reported := false
+			err := func() error {
+				st, err := transport.Listen(id, addrs,
+					transport.WithRecvTimeout(5*time.Second), transport.WithLateJoiners(joiner),
+					transport.WithManifest(man), transport.WithBatching(transport.BatchPolicy{MaxFrames: 4}))
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				n, err := transport.NewNode(st, man)
+				if err != nil {
+					return err
+				}
+				if err := register(n, func(int) []transport.PeerOption {
+					return []transport.PeerOption{transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: 3})}
+				}); err != nil {
+					return err
+				}
+				for oi, ospec := range man {
+					for _, so := range scripts[oi] {
+						if so.Node != id {
+							continue
+						}
+						p, _ := n.Peer(ospec.ID)
+						if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+							return err
+						}
+					}
+				}
+				for _, obj := range n.Objects() {
+					p, _ := n.Peer(obj)
+					if err := p.Done(); err != nil {
+						return err
+					}
+				}
+				// Hold the join until every object has the other early peer's
+				// Done: each object's final pre-join compaction has run then.
+				for {
+					pending := false
+					for _, obj := range n.Objects() {
+						p, _ := n.Peer(obj)
+						if p.DonePeers() < 1 {
+							pending = true
+						}
+					}
+					if !pending {
+						break
+					}
+					if _, err := n.Step(true); err != nil {
+						return err
+					}
+				}
+				reported = true
+				ready <- nil
+				if err := n.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				record(id, st, n)
+				return nil
+			}()
+			if err != nil {
+				errs[id] = err
+				if !reported {
+					ready <- err
+				}
+			}
+		}
+		wg.Add(nodes)
+		for i := 0; i < int(joiner); i++ {
+			go early(model.NodeID(i))
+		}
+		go func() {
+			defer wg.Done()
+			errs[joiner] = func() error {
+				for i := 0; i < nodes-1; i++ {
+					if err := <-ready; err != nil {
+						return fmt.Errorf("early peer failed before the join: %w", err)
+					}
+				}
+				st, err := transport.Listen(joiner, addrs,
+					transport.WithRecvTimeout(5*time.Second), transport.AsLateJoiner(),
+					transport.WithManifest(man))
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				n, err := transport.NewNode(st, man)
+				if err != nil {
+					return err
+				}
+				if err := register(n, func(oi int) []transport.PeerOption {
+					return []transport.PeerOption{transport.WithCatchUp(algs[oi].DecodeState)}
+				}); err != nil {
+					return err
+				}
+				if err := n.CatchUp(); err != nil {
+					return err
+				}
+				if err := n.AwaitCatchUp(10 * time.Second); err != nil {
+					return err
+				}
+				for oi, ospec := range man {
+					for _, so := range scripts[oi] {
+						if so.Node != joiner {
+							continue
+						}
+						p, _ := n.Peer(ospec.ID)
+						if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+							return err
+						}
+					}
+				}
+				for _, obj := range n.Objects() {
+					p, _ := n.Peer(obj)
+					if err := p.Done(); err != nil {
+						return err
+					}
+				}
+				if err := n.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				record(joiner, st, n)
+				return nil
+			}()
+		}()
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				return fmt.Errorf("peer %d: %w", id, err)
+			}
+		}
+		if err := checkConverged(states); err != nil {
+			return err
+		}
+		for id := 0; id < nodes; id++ {
+			if conns[id] != nodes-1 {
+				return fmt.Errorf("node %d holds %d connections for %d peers — objects must share one socket pair per process pair",
+					id, conns[id], nodes-1)
+			}
+			if err := checkBalance(id, wire[id]); err != nil {
+				return err
+			}
+		}
+		for oi, ospec := range man {
+			js := snaps[joiner][oi]
+			if !js.Installed || js.FellBack {
+				return fmt.Errorf("object %d (%s): joiner never installed a snapshot response: %+v", ospec.ID, ospec.Kind, js)
+			}
+			if issued[0][oi] > 0 && issued[1][oi] > 0 {
+				for id := 0; id < nodes-1; id++ {
+					if es := snaps[id][oi]; es.Checkpoints == 0 || es.LogTruncated == 0 {
+						return fmt.Errorf("object %d (%s): early peer %d never compacted its log: %+v", ospec.ID, ospec.Kind, id, es)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := memLeg(); err != nil {
+		return fmt.Errorf("mem leg: %w", err)
+	}
+	if err := unixLeg(); err != nil {
+		return fmt.Errorf("unix leg: %w", err)
 	}
 	return nil
 }

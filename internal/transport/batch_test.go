@@ -170,8 +170,15 @@ func fakePeer(t *testing.T, network, address string, id uint64) net.Conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := append(append([]byte(nil), streamMagic...), binary.AppendUvarint(nil, id)...)
+	buf := append([]byte(nil), streamMagic...)
+	buf = binary.AppendUvarint(buf, id)
+	buf = codec.AppendBytes(buf, Manifest(nil).Encode())
 	if _, err := c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the acceptor's handshake answer so hand-crafted wire bytes start
+	// from a clean read position on both ends.
+	if _, _, err := readHandshake(c); err != nil {
 		t.Fatal(err)
 	}
 	return c

@@ -53,15 +53,34 @@ func BenchmarkStreamThroughput(b *testing.B) {
 			for _, payload := range []int{64, 1024} {
 				name := fmt.Sprintf("%s/batch=%d/payload=%d", network, batch, payload)
 				b.Run(name, func(b *testing.B) {
-					benchStreamThroughput(b, network, batch, payload)
+					benchStreamThroughput(b, network, batch, payload, 1)
 				})
 			}
+		}
+		// Objects dimension: 8 objects' frames round-robined over the same
+		// handshaked manifest mesh, coalescing into the same batch
+		// containers — the per-frame cost should track the objs=1 batch=8
+		// rows, since the object ID is one varint on the wire and the flush
+		// loop is shared, not per-object.
+		for _, payload := range []int{64, 1024} {
+			name := fmt.Sprintf("%s/batch=8/payload=%d/objs=8", network, payload)
+			b.Run(name, func(b *testing.B) {
+				benchStreamThroughput(b, network, 8, payload, 8)
+			})
 		}
 	}
 }
 
-func benchStreamThroughput(b *testing.B, network string, batch, payload int) {
+func benchStreamThroughput(b *testing.B, network string, batch, payload, objs int) {
 	addrs := benchAddrs(b, network)
+	var man transport.Manifest
+	if objs > 1 {
+		for o := 0; o < objs; o++ {
+			man = append(man, transport.ObjectSpec{
+				ID: transport.ObjID(o), Name: fmt.Sprintf("o%d", o), Kind: "bench",
+			})
+		}
+	}
 	ends := make([]*transport.Stream, 2)
 	errs := make([]error, 2)
 	var wg sync.WaitGroup
@@ -73,6 +92,9 @@ func benchStreamThroughput(b *testing.B, network string, batch, payload int) {
 		// the measurement.
 		if i == 0 && batch > 1 {
 			opts = append(opts, transport.WithBatching(transport.BatchPolicy{MaxFrames: batch}))
+		}
+		if man != nil {
+			opts = append(opts, transport.WithManifest(man))
 		}
 		wg.Add(1)
 		go func() {
@@ -113,7 +135,7 @@ func benchStreamThroughput(b *testing.B, network string, batch, payload int) {
 	b.SetBytes(int64(payload))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := transport.Frame{Kind: transport.KindEffector, MID: model.MsgID(i + 1), From: 0, Payload: body}
+		f := transport.Frame{Kind: transport.KindEffector, Obj: transport.ObjID(i % objs), MID: model.MsgID(i + 1), From: 0, Payload: body}
 		if err := ends[0].Broadcast(f); err != nil {
 			b.Fatal(err)
 		}

@@ -11,15 +11,21 @@ import (
 
 // Inner frame layout (before the codec.AppendFrame checksum envelope):
 //
-//	kind · uvarint mid · uvarint from · uvarint ndeps · ndeps×uvarint dep ·
-//	bytes payload
+//	kind · uvarint obj · uvarint mid · uvarint from · uvarint ndeps ·
+//	ndeps×uvarint dep · bytes payload
 //
 // Deps are emitted sorted so equal frames encode byte-equal (the canonical
-// form the rest of the codec layer guarantees).
+// form the rest of the codec layer guarantees). The obj field arrived with
+// wire version \x04 (object multiplexing); the pre-\x04 layout without it is
+// rejected by the handshake version byte before any frame is parsed, and a
+// frame that still slips through misparses into a structural failure wrapping
+// codec.ErrCorrupt — Decode consumes every byte and validates every field, so
+// the shifted fields cannot decode cleanly.
 
 // Append appends the frame's canonical inner encoding to b.
 func (f Frame) Append(b []byte) []byte {
 	b = append(b, f.Kind)
+	b = codec.AppendUvarint(b, uint64(f.Obj))
 	b = codec.AppendUvarint(b, uint64(f.MID))
 	b = codec.AppendUvarint(b, uint64(f.From))
 	deps := append([]model.MsgID(nil), f.Deps...)
@@ -43,6 +49,11 @@ func Decode(b []byte) (Frame, error) {
 		return f, fmt.Errorf("%w: unknown frame kind %d", codec.ErrCorrupt, f.Kind)
 	}
 	rest := b[1:]
+	obj, rest, err := codec.DecodeUvarint(rest)
+	if err != nil {
+		return f, err
+	}
+	f.Obj = ObjID(obj)
 	mid, rest, err := codec.DecodeUvarint(rest)
 	if err != nil {
 		return f, err

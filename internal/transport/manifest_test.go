@@ -1,0 +1,72 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, man := range []transport.Manifest{
+		nil,
+		{{ID: 1, Name: "accounts", Kind: "counter"}},
+		{{ID: 1, Name: "accounts", Kind: "counter"}, {ID: 2, Name: "tags", Kind: "g-set"}, {ID: 300, Name: "doc", Kind: "rga"}},
+	} {
+		enc := man.Encode()
+		got, err := transport.DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", man, err)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatalf("%s: re-encode differs: % x vs % x", man, got.Encode(), enc)
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		man  transport.Manifest
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"single", transport.Manifest{{ID: 0, Name: "a", Kind: "counter"}}, true},
+		{"ascending", transport.Manifest{{ID: 1, Name: "a", Kind: "counter"}, {ID: 2, Name: "b", Kind: "g-set"}}, true},
+		{"duplicate id", transport.Manifest{{ID: 1, Name: "a", Kind: "counter"}, {ID: 1, Name: "b", Kind: "g-set"}}, false},
+		{"descending", transport.Manifest{{ID: 2, Name: "a", Kind: "counter"}, {ID: 1, Name: "b", Kind: "g-set"}}, false},
+		{"empty name", transport.Manifest{{ID: 1, Name: "", Kind: "counter"}}, false},
+		{"empty kind", transport.Manifest{{ID: 1, Name: "a", Kind: ""}}, false},
+	}
+	for _, c := range cases {
+		if err := c.man.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestManifestDecodeCorrupt: truncations and invalid tables must surface as
+// ErrCorrupt, never as a zero-value manifest.
+func TestManifestDecodeCorrupt(t *testing.T) {
+	man := transport.Manifest{{ID: 1, Name: "accounts", Kind: "counter"}, {ID: 2, Name: "tags", Kind: "g-set"}}
+	enc := man.Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := transport.DecodeManifest(enc[:cut]); !errors.Is(err, codec.ErrCorrupt) {
+			t.Errorf("truncation at %d decoded without ErrCorrupt: %v", cut, err)
+		}
+	}
+	// A decoded table that violates Validate (non-ascending IDs) is corrupt
+	// even when structurally well-formed.
+	bad := transport.Manifest{{ID: 2, Name: "a", Kind: "counter"}, {ID: 1, Name: "b", Kind: "g-set"}}
+	raw := codec.AppendUvarint(nil, 2)
+	for _, o := range bad {
+		raw = codec.AppendUvarint(raw, uint64(o.ID))
+		raw = codec.AppendBytes(raw, []byte(o.Name))
+		raw = codec.AppendBytes(raw, []byte(o.Kind))
+	}
+	if _, err := transport.DecodeManifest(raw); !errors.Is(err, codec.ErrCorrupt) {
+		t.Errorf("non-ascending manifest decoded without ErrCorrupt: %v", err)
+	}
+}

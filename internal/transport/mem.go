@@ -22,14 +22,25 @@ import (
 type Mem struct {
 	n   int
 	now int
-	// inbox holds the undelivered copies per destination. Queued values are
-	// shared across Clones; a partially consumed duplicate is replaced
-	// copy-on-write, so the sharing stays safe.
-	inbox []map[model.MsgID]*Queued
+	// inbox holds the undelivered copies per destination, keyed by (object,
+	// mid) — mid spaces are per object, so two multiplexed objects may queue
+	// the same MsgID concurrently. Queued values are shared across Clones; a
+	// partially consumed duplicate is replaced copy-on-write, so the sharing
+	// stays safe.
+	inbox []map[memKey]*Queued
 	// partition, when non-nil, assigns each node to a link group; frames
 	// only flow within a group.
 	partition []int
 }
+
+// memKey addresses one queued copy set: the frame's object and its mid
+// within that object's space.
+type memKey struct {
+	obj ObjID
+	mid model.MsgID
+}
+
+func keyOf(f Frame) memKey { return memKey{obj: f.Obj, mid: f.MID} }
 
 // Queued is one in-flight frame addressed to a single destination, together
 // with its scheduling state: how many network copies remain (>1 after a
@@ -51,7 +62,7 @@ func NewMem(n int) *Mem {
 	}
 	m := &Mem{n: n}
 	for i := 0; i < n; i++ {
-		m.inbox = append(m.inbox, map[model.MsgID]*Queued{})
+		m.inbox = append(m.inbox, map[memKey]*Queued{})
 	}
 	return m
 }
@@ -73,32 +84,40 @@ func (m *Mem) AdvanceTo(t int) {
 }
 
 // Put queues q for dst, replacing any copy set already queued under the same
-// MsgID (the corruption path uses this to swap a mangled copy set for one
-// clean retransmission).
+// (object, MsgID) key (the corruption path uses this to swap a mangled copy
+// set for one clean retransmission).
 func (m *Mem) Put(dst model.NodeID, q *Queued) {
-	m.inbox[dst][q.Frame.MID] = q
+	m.inbox[dst][keyOf(q.Frame)] = q
 }
 
-// Get returns the queued copy set for mid at dst without consuming it.
+// Get returns object 0's queued copy set for mid at dst without consuming
+// it. The mid-addressed accessors (Get, Take, Remove, Mids) serve the
+// simulator's single-object schedules and address object 0; multiplexed
+// traffic moves through Endpoint views, which handle every object.
 func (m *Mem) Get(dst model.NodeID, mid model.MsgID) (*Queued, bool) {
-	q, ok := m.inbox[dst][mid]
+	q, ok := m.inbox[dst][memKey{mid: mid}]
 	return q, ok
 }
 
-// Take consumes one network copy of mid at dst. Queued values are shared
-// across Clones, so a partially consumed duplicate is replaced copy-on-write;
-// the last copy removes the entry. It reports whether the mid was queued.
+// Take consumes one network copy of object 0's mid at dst. Queued values are
+// shared across Clones, so a partially consumed duplicate is replaced
+// copy-on-write; the last copy removes the entry. It reports whether the mid
+// was queued.
 func (m *Mem) Take(dst model.NodeID, mid model.MsgID) (*Queued, bool) {
-	q, ok := m.inbox[dst][mid]
+	return m.take(dst, memKey{mid: mid})
+}
+
+func (m *Mem) take(dst model.NodeID, k memKey) (*Queued, bool) {
+	q, ok := m.inbox[dst][k]
 	if !ok {
 		return nil, false
 	}
 	if q.Copies > 1 {
 		cp := *q
 		cp.Copies--
-		m.inbox[dst][mid] = &cp
+		m.inbox[dst][k] = &cp
 	} else {
-		delete(m.inbox[dst], mid)
+		delete(m.inbox[dst], k)
 	}
 	return q, true
 }
@@ -106,23 +125,25 @@ func (m *Mem) Take(dst model.NodeID, mid model.MsgID) (*Queued, bool) {
 // Clear discards every queued copy addressed to dst (a replaced replica's
 // inbox: the fresh node resyncs from the durable log instead).
 func (m *Mem) Clear(dst model.NodeID) {
-	m.inbox[dst] = map[model.MsgID]*Queued{}
+	m.inbox[dst] = map[memKey]*Queued{}
 }
 
-// Remove discards every remaining queued copy of mid at dst.
+// Remove discards every remaining queued copy of object 0's mid at dst.
 func (m *Mem) Remove(dst model.NodeID, mid model.MsgID) bool {
-	if _, ok := m.inbox[dst][mid]; !ok {
+	if _, ok := m.inbox[dst][memKey{mid: mid}]; !ok {
 		return false
 	}
-	delete(m.inbox[dst], mid)
+	delete(m.inbox[dst], memKey{mid: mid})
 	return true
 }
 
-// Mids returns the MsgIDs queued for dst, sorted.
+// Mids returns object 0's MsgIDs queued for dst, sorted.
 func (m *Mem) Mids(dst model.NodeID) []model.MsgID {
 	out := make([]model.MsgID, 0, len(m.inbox[dst]))
-	for mid := range m.inbox[dst] {
-		out = append(out, mid)
+	for k := range m.inbox[dst] {
+		if k.obj == 0 {
+			out = append(out, k.mid)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -226,7 +247,7 @@ func (m *Mem) Clone() *Mem {
 	cp := &Mem{n: m.n, now: m.now}
 	cp.partition = append([]int(nil), m.partition...)
 	for _, box := range m.inbox {
-		nb := make(map[model.MsgID]*Queued, len(box))
+		nb := make(map[memKey]*Queued, len(box))
 		for k, v := range box {
 			nb[k] = v
 		}
@@ -296,8 +317,10 @@ func (e *memEndpoint) flush(trigger int) error {
 	if len(e.pend) == 0 {
 		return nil
 	}
-	n, bytes := len(e.pend), e.pendBytes
-	for _, f := range e.pend {
+	bytes := e.pendBytes
+	objs := make([]ObjID, len(e.pend))
+	for i, f := range e.pend {
+		objs[i] = f.Obj
 		for dst := 0; dst < e.m.n; dst++ {
 			if model.NodeID(dst) == e.self {
 				continue
@@ -321,9 +344,7 @@ func (e *memEndpoint) flush(trigger int) error {
 		if model.NodeID(dst) == e.self {
 			continue
 		}
-		e.stats.Sent[dst].Frames += n
-		e.stats.Sent[dst].Batches++
-		e.stats.Sent[dst].Bytes += bytes
+		e.stats.noteSent(model.NodeID(dst), 1, bytes, objs)
 	}
 	return nil
 }
@@ -339,9 +360,7 @@ func (e *memEndpoint) Send(to model.NodeID, f Frame) error {
 		return err
 	}
 	e.m.Put(to, &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
-	e.stats.Sent[to].Frames++
-	e.stats.Sent[to].Batches++
-	e.stats.Sent[to].Bytes += len(EncodeWire(f))
+	e.stats.noteSent(to, 1, len(EncodeWire(f)), []ObjID{f.Obj})
 	return nil
 }
 
@@ -353,23 +372,25 @@ func (e *memEndpoint) Stats() Stats { return e.stats.clone() }
 
 func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
 	for {
-		best := model.MsgID(-1)
+		var best memKey
+		found := false
 		bestAt := 0
-		for mid, q := range e.m.inbox[e.self] {
+		for k, q := range e.m.inbox[e.self] {
 			if !e.m.Ready(e.self, q) {
 				continue
 			}
-			if best < 0 || q.ReadyAt < bestAt || (q.ReadyAt == bestAt && mid < best) {
-				best, bestAt = mid, q.ReadyAt
+			// Deterministic order: smallest (arrival tick, object, mid).
+			if !found || q.ReadyAt < bestAt ||
+				(q.ReadyAt == bestAt && (k.obj < best.obj || (k.obj == best.obj && k.mid < best.mid))) {
+				best, bestAt, found = k, q.ReadyAt, true
 			}
 		}
-		if best >= 0 {
-			q, _ := e.m.Take(e.self, best)
+		if found {
+			q, _ := e.m.take(e.self, best)
 			from := q.Frame.From
 			if int(from) >= 0 && int(from) < e.m.n {
-				e.stats.Recv[from].Frames++
-				e.stats.Recv[from].Batches++ // Mem delivers frame-at-a-time
-				e.stats.Recv[from].Bytes += len(q.Frame.Payload)
+				// Mem delivers frame-at-a-time: one batch per frame.
+				e.stats.noteRecv(from, 1, len(q.Frame.Payload), []ObjID{q.Frame.Obj})
 			}
 			return q.Frame, true, nil
 		}

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/crdt"
+	"repro/internal/model"
+)
+
+// Node multiplexes many replicated objects over one Transport endpoint: the
+// shared-mesh layer between the object-blind byte movers (Stream, Mem) and
+// the per-object replica logic (Peer). One socket pair per process pair
+// carries every object's traffic — effectors, snapshot requests and
+// responses, done announcements — and the Node demultiplexes inbound frames
+// to the Peer registered under each frame's object ID.
+//
+// Every registered Peer sees the shared endpoint through an object-scoped
+// view, so the peers also *share* the endpoint's BatchPolicy: broadcasts
+// from different objects coalesce into the same batch container, and one
+// flush pays one wire write for all of them. Because a view pumping the
+// shared Recv routes other objects' frames inline, progress is cross-object:
+// a late joiner can sit in object A's snapshot catch-up while object B's
+// live traffic keeps applying.
+type Node struct {
+	t     Transport
+	man   Manifest
+	peers map[ObjID]*Peer
+	order []ObjID
+}
+
+// NewNode wraps one Transport endpoint in an object demux governed by man.
+// When the endpoint is a Stream, its handshake manifest must be the same one
+// — the demux's routing table and the wire contract are validated against
+// each other, not assumed.
+func NewNode(t Transport, man Manifest) (*Node, error) {
+	man = man.Sorted()
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if st, ok := t.(*Stream); ok {
+		if string(st.Manifest().Encode()) != string(man.Encode()) {
+			return nil, fmt.Errorf("transport: node manifest (%s) differs from the stream's handshake manifest (%s)",
+				man, st.Manifest())
+		}
+	}
+	return &Node{t: t, man: man, peers: map[ObjID]*Peer{}}, nil
+}
+
+// Manifest returns the manifest governing the demux.
+func (n *Node) Manifest() Manifest { return n.man }
+
+// Transport returns the shared endpoint (for stats and connection queries).
+func (n *Node) Transport() Transport { return n.t }
+
+// Register creates the Peer replicating object id over the shared endpoint.
+// The id must be declared in the manifest (object 0 of an empty manifest is
+// the single-object degenerate case) and not yet registered. The peer is
+// built with WithObjectID(id) plus opts, exactly as NewPeer would.
+func (n *Node) Register(id ObjID, obj crdt.Object, dec crdt.EffectorDecoder, causal bool, opts ...PeerOption) (*Peer, error) {
+	if len(n.man) > 0 {
+		if _, ok := n.man.Lookup(id); !ok {
+			return nil, fmt.Errorf("transport: object %d is not in the manifest (%s)", id, n.man)
+		}
+	} else if id != 0 {
+		return nil, fmt.Errorf("transport: object %d needs a manifest declaring it", id)
+	}
+	if _, dup := n.peers[id]; dup {
+		return nil, fmt.Errorf("transport: object %d registered twice", id)
+	}
+	p := NewPeer(obj, dec, &objView{n: n, id: id}, causal, append([]PeerOption{WithObjectID(id)}, opts...)...)
+	n.peers[id] = p
+	n.order = append(n.order, id)
+	return p, nil
+}
+
+// Peer returns the replica registered for id.
+func (n *Node) Peer(id ObjID) (*Peer, bool) {
+	p, ok := n.peers[id]
+	return p, ok
+}
+
+// Objects returns the registered object IDs in registration order.
+func (n *Node) Objects() []ObjID { return append([]ObjID(nil), n.order...) }
+
+// route hands one inbound frame to its object's replica. A frame whose
+// object no replica is registered for is rejected strictly — over a
+// handshaked mesh both ends validated the same manifest, so an unknown ID is
+// corruption or a routing bug, never negotiable traffic.
+func (n *Node) route(f Frame) error {
+	p, ok := n.peers[f.Obj]
+	if !ok {
+		return fmt.Errorf("%w: frame for unknown object %d (manifest: %s)", codec.ErrCorrupt, f.Obj, n.man)
+	}
+	return p.Handle(f)
+}
+
+// Step receives one frame from the shared endpoint and routes it. It reports
+// whether a frame was processed; with wait=true it blocks until one arrives
+// or the endpoint's receive deadline passes.
+func (n *Node) Step(wait bool) (bool, error) {
+	f, ok, err := n.t.Recv(wait)
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, n.route(f)
+}
+
+// Flush forces any pending batch of the shared endpoint down to the wire.
+func (n *Node) Flush() error {
+	if fl, ok := n.t.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
+// CatchUp broadcasts every registered late joiner's snapshot request (the
+// peers built with WithCatchUp), in registration order — one batched flush
+// carries all of them. AwaitCatchUp pumps until each resolves.
+func (n *Node) CatchUp() error {
+	for _, id := range n.order {
+		if err := n.peers[id].CatchUp(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AwaitCatchUp pumps the shared endpoint until every requested catch-up has
+// resolved or the deadline passes. Responses for different objects arrive
+// interleaved with live traffic; routing handles both.
+func (n *Node) AwaitCatchUp(deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for {
+		pending := 0
+		for _, p := range n.peers {
+			if p.requested && !p.CaughtUp() {
+				pending++
+			}
+		}
+		if pending == 0 {
+			return nil
+		}
+		if time.Now().After(limit) {
+			return fmt.Errorf("transport: %w: %d object(s) still awaiting a snapshot response after %s", ErrTimeout, pending, deadline)
+		}
+		ok, err := n.Step(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("transport: network drained while %d object(s) awaited snapshot responses", pending)
+		}
+	}
+}
+
+// Quiesced reports whether every registered object is stable from this
+// node's view.
+func (n *Node) Quiesced() bool {
+	for _, p := range n.peers {
+		if !p.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToQuiescence pumps the shared endpoint until every registered object
+// quiesces or the deadline passes. The pending batch is flushed first, as
+// each Peer does before blocking on its peers.
+func (n *Node) RunToQuiescence(deadline time.Duration) error {
+	if err := n.Flush(); err != nil {
+		return err
+	}
+	limit := time.Now().Add(deadline)
+	for !n.Quiesced() {
+		if time.Now().After(limit) {
+			return fmt.Errorf("transport: %w: %d of %d objects not quiescent after %s",
+				ErrTimeout, n.unquiesced(), len(n.peers), deadline)
+		}
+		ok, err := n.Step(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("transport: network drained but %d of %d objects not quiescent", n.unquiesced(), len(n.peers))
+		}
+	}
+	return nil
+}
+
+func (n *Node) unquiesced() int {
+	c := 0
+	for _, p := range n.peers {
+		if !p.Quiesced() {
+			c++
+		}
+	}
+	return c
+}
+
+// Close closes the shared endpoint (flushing any pending batch first, per
+// the endpoint's own clean-hangup semantics).
+func (n *Node) Close() error { return n.t.Close() }
+
+// objView is one object's Transport view of the shared endpoint: sends are
+// stamped with the object ID, and receives route other objects' frames to
+// their own replicas inline, so any object pumping the endpoint makes
+// progress for all of them.
+type objView struct {
+	n  *Node
+	id ObjID
+}
+
+func (v *objView) Self() model.NodeID { return v.n.t.Self() }
+func (v *objView) N() int             { return v.n.t.N() }
+
+func (v *objView) Broadcast(f Frame) error {
+	f.Obj = v.id
+	return v.n.t.Broadcast(f)
+}
+
+// Send implements Unicaster over the shared endpoint (the snapshot response
+// channel). The endpoint must unicast; Stream and Mem endpoints both do.
+func (v *objView) Send(to model.NodeID, f Frame) error {
+	u, ok := v.n.t.(Unicaster)
+	if !ok {
+		return fmt.Errorf("transport: %T cannot unicast", v.n.t)
+	}
+	f.Obj = v.id
+	return u.Send(to, f)
+}
+
+// Recv returns the next frame scoped to this view's object, routing frames
+// of every other object to their replicas as they surface.
+func (v *objView) Recv(wait bool) (Frame, bool, error) {
+	for {
+		f, ok, err := v.n.t.Recv(wait)
+		if err != nil || !ok {
+			return Frame{}, ok, err
+		}
+		if f.Obj == v.id {
+			return f, true, nil
+		}
+		if err := v.n.route(f); err != nil {
+			return Frame{}, false, err
+		}
+	}
+}
+
+// Flush flushes the shared endpoint: one pending batch serves every object.
+func (v *objView) Flush() error { return v.n.Flush() }
+
+// Stats reports the shared endpoint's counters — the same snapshot for
+// every object view, including the per-object split.
+func (v *objView) Stats() Stats {
+	if sr, ok := v.n.t.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
+// ConnectedPeers delegates to the shared endpoint, falling back to the full
+// group exactly as a Peer over a non-tracking transport assumes.
+func (v *objView) ConnectedPeers() []model.NodeID {
+	if pl, ok := v.n.t.(PeerLister); ok {
+		return pl.ConnectedPeers()
+	}
+	out := make([]model.NodeID, 0, v.n.t.N()-1)
+	for i := 0; i < v.n.t.N(); i++ {
+		if model.NodeID(i) != v.n.t.Self() {
+			out = append(out, model.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Close is a no-op: the Node owns the shared endpoint, and one object
+// leaving must not hang up the others. Use Node.Close.
+func (v *objView) Close() error { return nil }

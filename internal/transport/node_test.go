@@ -1,0 +1,279 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/crdt"
+	"repro/internal/crdts/registry"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// multiplexManifest is the four-object routing table the Node tests share:
+// two standalone objects plus two that a product reassembles at read time.
+func multiplexManifest() transport.Manifest {
+	return transport.Manifest{
+		{ID: 1, Name: "accounts", Kind: "counter"},
+		{ID: 2, Name: "tags", Kind: "g-set"},
+		{ID: 3, Name: "cart.qty", Kind: "counter"},
+		{ID: 4, Name: "cart.items", Kind: "g-set"},
+	}
+}
+
+// algFor maps a manifest kind to its registry bundle.
+func algFor(t *testing.T, kind string) registry.Algorithm {
+	t.Helper()
+	alg, ok := registry.ByName(kind)
+	if !ok {
+		t.Fatalf("no algorithm %q in the registry", kind)
+	}
+	return alg
+}
+
+// TestNodeMultiplexMem replicates four objects of mixed algorithms across
+// three nodes over one shared batched Mem endpoint each, interleaving every
+// object's operations, and checks per-object convergence plus the stats
+// balance invariant: summing the per-object frame counters reproduces the
+// per-peer totals exactly, because both are updated by the same helper.
+func TestNodeMultiplexMem(t *testing.T) {
+	const nodes = 3
+	man := multiplexManifest()
+	m := transport.NewMem(nodes)
+	policies := []transport.BatchPolicy{
+		{}, // unbatched
+		{MaxFrames: 4},
+		{MaxFrames: 64, MaxBytes: 1 << 20},
+	}
+	ns := make([]*transport.Node, nodes)
+	for i := 0; i < nodes; i++ {
+		n, err := transport.NewNode(m.BatchedEndpoint(model.NodeID(i), policies[i]), man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range man {
+			alg := algFor(t, spec.Kind)
+			if _, err := n.Register(spec.ID, alg.New(), alg.DecodeEffector, alg.NeedsCausal); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ns[i] = n
+	}
+
+	// One script per object, all interleaved through the shared endpoints.
+	rng := rand.New(rand.NewSource(11))
+	issued := map[transport.ObjID]int{}
+	for oi, spec := range man {
+		alg := algFor(t, spec.Kind)
+		script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), nodes, 9, int64(100+oi), alg.NeedsCausal)
+		for _, sop := range script {
+			p, _ := ns[sop.Node].Peer(spec.ID)
+			if _, err := p.Invoke(sop.Op); err != nil {
+				if errors.Is(err, crdt.ErrAssume) {
+					continue
+				}
+				t.Fatalf("obj %d invoke on node %d: %v", spec.ID, sop.Node, err)
+			}
+			issued[spec.ID]++
+			// Pump a random node: routing is cross-object, so any one
+			// object's traffic progresses all of them.
+			for k := 0; k < 2; k++ {
+				if _, err := ns[rng.Intn(nodes)].Step(false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, n := range ns {
+		for _, id := range n.Objects() {
+			p, _ := n.Peer(id)
+			if err := p.Done(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, n := range ns {
+		if err := n.RunToQuiescence(5 * time.Second); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+
+	// Per-object convergence: byte-identical canonical states on all nodes.
+	for _, spec := range man {
+		p0, _ := ns[0].Peer(spec.ID)
+		want := p0.CanonicalState()
+		for i := 1; i < nodes; i++ {
+			p, _ := ns[i].Peer(spec.ID)
+			if got := p.CanonicalState(); !bytes.Equal(got, want) {
+				t.Errorf("object %d (%s): node %d state % x != node 0 state % x", spec.ID, spec.Kind, i, got, want)
+			}
+		}
+	}
+
+	// Read-time product reassembly: the cart is objects 3 and 4 stitched
+	// back together; equal parts mean equal products, byte for byte.
+	var cart0 []byte
+	for i := 0; i < nodes; i++ {
+		qty, _ := ns[i].Peer(3)
+		items, _ := ns[i].Peer(4)
+		enc := codec.AppendBytes(nil, qty.CanonicalState())
+		enc = codec.AppendBytes(enc, items.CanonicalState())
+		if i == 0 {
+			cart0 = enc
+		} else if !bytes.Equal(enc, cart0) {
+			t.Errorf("node %d: reassembled cart % x != node 0 cart % x", i, enc, cart0)
+		}
+	}
+
+	// Stats balance: the object split and the per-peer totals are two views
+	// of the same frames, updated together, so the sums must agree exactly.
+	for i, n := range ns {
+		st := n.Transport().(transport.StatsReporter).Stats()
+		var sentObj, recvObj int
+		for _, io := range st.Objects {
+			sentObj += io.SentFrames
+			recvObj += io.RecvFrames
+		}
+		if sentObj != st.TotalSent().Frames {
+			t.Errorf("node %d: object sent frames %d != peer total %d", i, sentObj, st.TotalSent().Frames)
+		}
+		if recvObj != st.TotalRecv().Frames {
+			t.Errorf("node %d: object recv frames %d != peer total %d", i, recvObj, st.TotalRecv().Frames)
+		}
+		for _, spec := range man {
+			if issued[spec.ID] > 0 && st.Objects[spec.ID].SentFrames == 0 {
+				t.Errorf("node %d: object %d issued ops cluster-wide but has no sent frames anywhere in the split", i, spec.ID)
+			}
+		}
+	}
+}
+
+// TestNodeUnknownObjectRejected pins strict routing: a frame for an object
+// the manifest never declared is corruption, not negotiable traffic.
+func TestNodeUnknownObjectRejected(t *testing.T) {
+	m := transport.NewMem(2)
+	man := transport.Manifest{{ID: 1, Name: "accounts", Kind: "counter"}}
+	n, err := transport.NewNode(m.Endpoint(1), man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := algFor(t, "counter")
+	if _, err := n.Register(1, alg.New(), alg.DecodeEffector, false); err != nil {
+		t.Fatal(err)
+	}
+	m.Put(1, &transport.Queued{Frame: transport.Frame{
+		Kind: transport.KindEffector, Obj: 99, MID: 1, From: 0, Payload: []byte("x"),
+	}})
+	if _, err := n.Step(false); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("routing a frame for undeclared object 99: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestNodeRegisterValidation pins the demux's registration contract.
+func TestNodeRegisterValidation(t *testing.T) {
+	m := transport.NewMem(2)
+	alg := algFor(t, "counter")
+
+	if _, err := transport.NewNode(m.Endpoint(0), transport.Manifest{
+		{ID: 2, Name: "a", Kind: "counter"}, {ID: 1, Name: "b", Kind: "counter"}, {ID: 1, Name: "c", Kind: "counter"},
+	}); err == nil {
+		t.Error("NewNode accepted a manifest with duplicate IDs")
+	}
+
+	n, err := transport.NewNode(m.Endpoint(0), transport.Manifest{{ID: 1, Name: "accounts", Kind: "counter"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(5, alg.New(), alg.DecodeEffector, false); err == nil {
+		t.Error("Register accepted an object the manifest does not declare")
+	}
+	if _, err := n.Register(1, alg.New(), alg.DecodeEffector, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(1, alg.New(), alg.DecodeEffector, false); err == nil {
+		t.Error("Register accepted a duplicate object")
+	}
+
+	// Empty manifest: only the single-object degenerate case (object 0).
+	n0, err := transport.NewNode(m.Endpoint(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n0.Register(3, alg.New(), alg.DecodeEffector, false); err == nil {
+		t.Error("empty-manifest node accepted a nonzero object ID")
+	}
+	if _, err := n0.Register(0, alg.New(), alg.DecodeEffector, false); err != nil {
+		t.Errorf("empty-manifest node rejected object 0: %v", err)
+	}
+}
+
+// TestNodeStreamManifestCrossValidation: a Node over a Stream must carry the
+// same manifest the stream handshook with — the routing table and the wire
+// contract are checked against each other.
+func TestNodeStreamManifestCrossValidation(t *testing.T) {
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "n0.sock"),
+		"unix:" + filepath.Join(dir, "n1.sock"),
+	}
+	man := transport.Manifest{{ID: 1, Name: "accounts", Kind: "counter"}}
+	type res struct {
+		st  *transport.Stream
+		err error
+	}
+	ch := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func(id model.NodeID) {
+			st, err := transport.Listen(id, addrs, transport.WithManifest(man))
+			ch <- res{st, err}
+		}(model.NodeID(i))
+	}
+	var streams []*transport.Stream
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		defer r.st.Close()
+		streams = append(streams, r.st)
+	}
+	other := transport.Manifest{{ID: 1, Name: "accounts", Kind: "g-set"}}
+	if _, err := transport.NewNode(streams[0], other); err == nil {
+		t.Error("NewNode accepted a manifest differing from the stream's handshake manifest")
+	}
+	if _, err := transport.NewNode(streams[0], man); err != nil {
+		t.Errorf("NewNode rejected the stream's own manifest: %v", err)
+	}
+}
+
+// TestMemMultiObjectKeying: the in-memory network keys queued frames by
+// (object, mid), so the same Lamport mid in two objects' spaces is two
+// distinct deliverable frames, surfaced in deterministic object order.
+func TestMemMultiObjectKeying(t *testing.T) {
+	m := transport.NewMem(2)
+	e0, e1 := m.Endpoint(0), m.Endpoint(1)
+	for _, obj := range []transport.ObjID{2, 1} {
+		err := e0.Broadcast(transport.Frame{Kind: transport.KindEffector, Obj: obj, MID: 7, From: 0, Payload: []byte{byte(obj)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.PendingTo(1); got != 2 {
+		t.Fatalf("pending frames to node 1 = %d, want 2 (same mid, two objects)", got)
+	}
+	for _, want := range []transport.ObjID{1, 2} {
+		f, ok, err := e1.Recv(false)
+		if err != nil || !ok {
+			t.Fatalf("recv: ok=%v err=%v", ok, err)
+		}
+		if f.Obj != want || f.MID != 7 {
+			t.Fatalf("recv obj=%d mid=%d, want obj=%d mid=7 (deterministic (ready, obj, mid) order)", f.Obj, f.MID, want)
+		}
+	}
+}

@@ -29,6 +29,12 @@ type Peer struct {
 	obj    crdt.Object
 	dec    crdt.EffectorDecoder
 	causal bool
+	// objID scopes every frame this replica sends and accepts. 0 for a
+	// single-object group; a Node demux registers each peer under its
+	// manifest ID (WithObjectID). Everything below — the Lamport mid space,
+	// dedup, hold-back, checkpointing — is per object by construction,
+	// because each object gets its own Peer.
+	objID ObjID
 
 	state   crdt.State
 	applied map[model.MsgID]bool
@@ -86,6 +92,13 @@ func WithSnapshotPolicy(pol SnapshotPolicy) PeerOption {
 	}
 }
 
+// WithObjectID scopes the peer to one replicated object of a multiplexed
+// mesh: its frames are stamped with id, and frames for any other object are
+// rejected as corrupt (a demux routing them here is a bug, not traffic).
+func WithObjectID(id ObjID) PeerOption {
+	return func(p *Peer) { p.objID = id }
+}
+
 // WithCatchUp marks the peer a late joiner: CatchUp broadcasts a snapshot
 // request and the first response installs through dec (the algorithm's
 // registered StateDecoder) before the peer enters the normal hold-back loop.
@@ -129,6 +142,10 @@ func (p *Peer) Skipped() int { return p.skipped }
 // Applied returns the number of remote effector frames applied.
 func (p *Peer) Applied() int { return p.remote }
 
+// ObjectID returns the object this replica is scoped to (0 for a
+// single-object group).
+func (p *Peer) ObjectID() ObjID { return p.objID }
+
 // nextMID allocates the next Lamport request ID.
 func (p *Peer) nextMID() model.MsgID {
 	mid := model.MsgID(int(p.seq)*p.t.N() + int(p.t.Self()) + 1)
@@ -169,7 +186,7 @@ func (p *Peer) Invoke(op model.Op) (model.Value, error) {
 	if _, derr := p.dec(payload); derr != nil {
 		return model.Nil(), fmt.Errorf("transport: effector %s does not decode with the registered codec: %v", eff, derr)
 	}
-	f := Frame{Kind: KindEffector, MID: mid, From: p.t.Self(), Payload: payload, Deps: p.wireDeps()}
+	f := Frame{Kind: KindEffector, Obj: p.objID, MID: mid, From: p.t.Self(), Payload: payload, Deps: p.wireDeps()}
 	p.state = eff.Apply(p.state)
 	p.applied[mid] = true
 	p.issued++
@@ -212,7 +229,7 @@ func (p *Peer) visible() []model.MsgID {
 func (p *Peer) Done() error {
 	p.doneSent = true
 	if err := p.t.Broadcast(Frame{
-		Kind: KindDone, MID: p.nextMID(), From: p.t.Self(),
+		Kind: KindDone, Obj: p.objID, MID: p.nextMID(), From: p.t.Self(),
 		Payload: codec.AppendUvarint(nil, uint64(p.issued)),
 		Deps:    p.wireDeps(),
 	}); err != nil {
@@ -247,6 +264,9 @@ func (p *Peer) TransportStats() (Stats, bool) {
 // already rejected bit flips), then application and a retry of any held
 // frames the new delivery unblocked.
 func (p *Peer) Handle(f Frame) error {
+	if f.Obj != p.objID {
+		return fmt.Errorf("%w: object %d frame delivered to the object %d replica", codec.ErrCorrupt, f.Obj, p.objID)
+	}
 	switch f.Kind {
 	case KindDone:
 		p.observe(f.MID)
@@ -413,7 +433,7 @@ func (p *Peer) CatchUp() error {
 	p.requested = true
 	p.syncing = true
 	if err := p.t.Broadcast(Frame{
-		Kind: KindSnapshotRequest, MID: p.nextMID(), From: p.t.Self(), Deps: p.wireDeps(),
+		Kind: KindSnapshotRequest, Obj: p.objID, MID: p.nextMID(), From: p.t.Self(), Deps: p.wireDeps(),
 	}); err != nil {
 		return err
 	}
@@ -480,7 +500,7 @@ func (p *Peer) serveSnapshot(to model.NodeID) error {
 	}
 	p.snapStats.Served++
 	if err := u.Send(to, Frame{
-		Kind: KindSnapshot, MID: p.nextMID(), From: p.t.Self(), Payload: EncodeSnapshot(snap),
+		Kind: KindSnapshot, Obj: p.objID, MID: p.nextMID(), From: p.t.Self(), Payload: EncodeSnapshot(snap),
 	}); err != nil {
 		// Best-effort: the requester may have resolved through another peer's
 		// response and hung up before this one went out. A lost response never
@@ -558,7 +578,10 @@ func (p *Peer) handleSnapshot(f Frame) error {
 			p.done[d.Node] = d.Count
 		}
 	}
-	for _, sf := range snap.Suffix {
+	for i, sf := range snap.Suffix {
+		if sf.Obj != p.objID {
+			return fmt.Errorf("%w: snapshot suffix frame %d is scoped to object %d, not %d", codec.ErrCorrupt, i, sf.Obj, p.objID)
+		}
 		if err := p.handleEffector(sf); err != nil {
 			return err
 		}

@@ -27,6 +27,18 @@ func FuzzSnapshotInstall(f *testing.F) {
 	overlap := sampleSnapshot(f)
 	overlap.Covered = append(overlap.Covered, overlap.Suffix[0].MID)
 	f.Add(transport.EncodeSnapshot(overlap))
+	// Object-ID-bearing seeds: suffix frames scoped to another object must be
+	// rejected by the object-0 replica under test (post-install, so the stats
+	// stay Installed-without-FellBack), and a mixed suffix fails on the first
+	// foreign frame.
+	foreign := sampleSnapshot(f)
+	for i := range foreign.Suffix {
+		foreign.Suffix[i].Obj = 2
+	}
+	f.Add(transport.EncodeSnapshot(foreign))
+	mixed := sampleSnapshot(f)
+	mixed.Suffix[1].Obj = 7
+	f.Add(transport.EncodeSnapshot(mixed))
 
 	alg, ok := registry.ByName("rga")
 	if !ok {
@@ -34,6 +46,15 @@ func FuzzSnapshotInstall(f *testing.F) {
 	}
 	// A response that genuinely installs: the algorithm's own initial state.
 	f.Add(transport.EncodeSnapshot(transport.Snapshot{State: alg.New().Init().AppendBinary(nil)}))
+	// An installable state whose suffix frame is scoped to a foreign object:
+	// the install succeeds, then the suffix is rejected post-install — the
+	// path where Installed stays true while the handler errors.
+	f.Add(transport.EncodeSnapshot(transport.Snapshot{
+		State: alg.New().Init().AppendBinary(nil),
+		Suffix: []transport.Frame{{
+			Kind: transport.KindEffector, Obj: 2, MID: 3, From: 0, Payload: []byte("eff"),
+		}},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := transport.NewMem(2)
 		p := transport.NewPeer(alg.New(), alg.DecodeEffector, m.Endpoint(1), alg.NeedsCausal,

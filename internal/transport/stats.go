@@ -1,6 +1,10 @@
 package transport
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/model"
+)
 
 // BatchPolicy configures write batching on a transport endpoint: queued
 // broadcasts coalesce into one batch container per flush instead of paying
@@ -57,9 +61,20 @@ func (a PeerIO) add(b PeerIO) PeerIO {
 	return PeerIO{Frames: a.Frames + b.Frames, Batches: a.Batches + b.Batches, Bytes: a.Bytes + b.Bytes}
 }
 
+// ObjIO counts one endpoint's frame traffic for a single object. Only frames
+// are split by object: batch containers and wire bytes are shared across the
+// objects coalesced into them and stay per-peer.
+type ObjIO struct {
+	// SentFrames counts frame deliveries written (each broadcast frame once
+	// per peer it went to), RecvFrames the frames read. Summed over objects
+	// they equal the per-peer totals — the balance invariant noteSent and
+	// noteRecv maintain by construction.
+	SentFrames, RecvFrames int
+}
+
 // Stats is a snapshot of one endpoint's batching and IO counters: what the
 // unix/TCP mesh (and the batched Mem endpoints mirroring it) did on the
-// wire, per peer.
+// wire, per peer and per object.
 type Stats struct {
 	// FramesQueued counts frames accepted by Broadcast, flushed or still
 	// pending; FramesRejected counts nested frames received whose own
@@ -72,6 +87,43 @@ type Stats struct {
 	// zero): Sent what this endpoint wrote to that peer, Recv what it read.
 	Sent []PeerIO
 	Recv []PeerIO
+	// Objects splits the frame counters by object ID (key 0 for a
+	// single-object group). Nil until the first frame moves.
+	Objects map[ObjID]ObjIO
+}
+
+// noteSent records one container write to peer carrying the listed frames'
+// objects: len(objs) frames, batches containers, wireBytes bytes. The
+// per-peer counters and the per-object split update in the same call — the
+// only write path either has — so sum-over-objects == per-peer totals can
+// never drift.
+func (s *Stats) noteSent(peer model.NodeID, batches, wireBytes int, objs []ObjID) {
+	s.Sent[peer].Frames += len(objs)
+	s.Sent[peer].Batches += batches
+	s.Sent[peer].Bytes += wireBytes
+	for _, o := range objs {
+		if s.Objects == nil {
+			s.Objects = map[ObjID]ObjIO{}
+		}
+		io := s.Objects[o]
+		io.SentFrames++
+		s.Objects[o] = io
+	}
+}
+
+// noteRecv is noteSent's receive-side twin.
+func (s *Stats) noteRecv(peer model.NodeID, batches, wireBytes int, objs []ObjID) {
+	s.Recv[peer].Frames += len(objs)
+	s.Recv[peer].Batches += batches
+	s.Recv[peer].Bytes += wireBytes
+	for _, o := range objs {
+		if s.Objects == nil {
+			s.Objects = map[ObjID]ObjIO{}
+		}
+		io := s.Objects[o]
+		io.RecvFrames++
+		s.Objects[o] = io
+	}
 }
 
 // TotalSent sums the per-peer send counters.
@@ -96,6 +148,13 @@ func (s Stats) TotalRecv() PeerIO {
 func (s Stats) clone() Stats {
 	s.Sent = append([]PeerIO(nil), s.Sent...)
 	s.Recv = append([]PeerIO(nil), s.Recv...)
+	if s.Objects != nil {
+		objs := make(map[ObjID]ObjIO, len(s.Objects))
+		for k, v := range s.Objects {
+			objs[k] = v
+		}
+		s.Objects = objs
+	}
 	return s
 }
 

@@ -42,11 +42,19 @@ type Stream struct {
 	conns []net.Conn // indexed by peer node ID; nil at self
 
 	// Pending batch: the concatenation of nested frame envelopes queued
-	// since the last flush, and the frame count. Guarded by mu.
+	// since the last flush, the frame count, and the queued frames' object
+	// IDs in order (the per-object stats split). Guarded by mu.
 	policy     BatchPolicy
 	pend       []byte
 	pendN      int
+	pendObjs   []ObjID
 	flushTimer *time.Timer
+
+	// man is the object manifest this endpoint exchanges and validates
+	// during every handshake; manEnc is its canonical encoding (what
+	// actually travels and is byte-compared).
+	man    Manifest
+	manEnc []byte
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -110,6 +118,16 @@ func WithBatching(p BatchPolicy) StreamOption {
 	return func(s *Stream) { s.policy = p.normalized() }
 }
 
+// WithManifest declares the object manifest of a multiplexed mesh: every
+// handshake carries the manifest's canonical encoding, and both ends require
+// byte-identical manifests before a connection is admitted — peers that
+// disagree on what an object ID means never exchange a frame. Without the
+// option the endpoint runs the empty manifest (a single-object group), which
+// only matches peers equally without one.
+func WithManifest(m Manifest) StreamOption {
+	return func(s *Stream) { s.man = m.Sorted() }
+}
+
 // WithLateJoiners declares peers expected to join after the mesh starts:
 // Listen neither dials nor waits for them, and a background acceptor admits
 // each one whenever it arrives — handshaked like any peer. Broadcasts made
@@ -136,9 +154,19 @@ func AsLateJoiner() StreamOption {
 
 // handshake magic: distinguishes a peer of this protocol from a stray
 // connection before trusting its node ID. The trailing byte versions the
-// wire format; \x03 adds the snapshot-request/response frames and the
-// acknowledgement deps on done frames.
-var streamMagic = []byte("crdt-repl\x03")
+// wire format; \x03 added the snapshot-request/response frames and the
+// acknowledgement deps on done frames, \x04 adds the object-ID field to the
+// inner frame encoding and the manifest exchange in the handshake. The
+// version byte gates the frame layout: a \x03 peer's frames (no obj field)
+// never reach a \x04 decoder, because the handshake fails first with a
+// version-mismatch error.
+var streamMagic = []byte("crdt-repl\x04")
+
+// Handshake wire form, symmetric since \x04 (the dialer writes first, the
+// acceptor answers):
+//
+//	magic (10 bytes, version last) · uvarint node id · bytes manifest
+//	(the Manifest encoding inside one codec bytes field)
 
 // Listen opens node self's endpoint of a replication group whose node i
 // listens on addrs[i] (each "unix:/path" or "tcp:host:port"). It blocks
@@ -168,6 +196,10 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 	for _, o := range opts {
 		o(s)
 	}
+	if err := s.man.Validate(); err != nil {
+		return nil, err
+	}
+	s.manEnc = s.man.Encode()
 	if s.joiner && len(s.late) > 0 {
 		return nil, fmt.Errorf("transport: a late joiner does not declare late joiners of its own")
 	}
@@ -220,7 +252,7 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 		if !s.joiner && peer > int(self) {
 			continue // startup accepts handle the higher-numbered mesh peers
 		}
-		c, err := dialPeer(s.addrs[peer], self, deadline)
+		c, err := s.dialPeer(s.addrs[peer], id, deadline)
 		if err != nil {
 			return fail(err)
 		}
@@ -280,7 +312,7 @@ func (s *Stream) acceptLoop(acceptCh chan<- accepted, startupDeadline time.Time)
 		if floor := time.Now().Add(5 * time.Second); hsDeadline.Before(floor) {
 			hsDeadline = floor
 		}
-		peer, err := acceptHandshake(c, hsDeadline)
+		peer, err := s.acceptHandshake(c, hsDeadline)
 		if err != nil {
 			c.Close()
 			select {
@@ -375,14 +407,29 @@ func (s *Stream) allHungUp() bool {
 }
 
 // dialPeer connects to a peer's listener, retrying until the deadline (the
-// peer process may not have started listening yet), and handshakes.
-func dialPeer(addr streamAddr, self model.NodeID, deadline time.Time) (net.Conn, error) {
+// peer process may not have started listening yet), and handshakes: it
+// writes its own hello, reads the acceptor's answer, and verifies the wire
+// version, the peer's identity, and the object manifest before the
+// connection is trusted.
+func (s *Stream) dialPeer(addr streamAddr, expect model.NodeID, deadline time.Time) (net.Conn, error) {
 	var lastErr error
 	for {
 		c, err := net.DialTimeout(addr.network, addr.address, time.Until(deadline))
 		if err == nil {
-			buf := append(append([]byte(nil), streamMagic...), binary.AppendUvarint(nil, uint64(self))...)
-			if _, err := c.Write(buf); err != nil {
+			if err := writeHandshake(c, s.self, s.manEnc); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+			}
+			c.SetReadDeadline(deadline)
+			peer, theirMan, err := readHandshake(c)
+			c.SetReadDeadline(time.Time{})
+			if err == nil && peer != expect {
+				err = fmt.Errorf("node %s answered where node %s should listen", peer, expect)
+			}
+			if err == nil {
+				err = s.checkManifest(peer, theirMan)
+			}
+			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("transport: handshake with %s: %w", addr, err)
 			}
@@ -396,25 +443,81 @@ func dialPeer(addr streamAddr, self model.NodeID, deadline time.Time) (net.Conn,
 	}
 }
 
-// acceptHandshake reads the magic and the dialer's node ID. It reads exact
-// byte counts straight off the connection — no read-ahead buffering — so
-// frames the dialer pipelines right behind the handshake stay in the socket
-// for the receive loop.
-func acceptHandshake(c net.Conn, deadline time.Time) (model.NodeID, error) {
+// acceptHandshake reads the dialer's hello and answers with this endpoint's
+// own before validating the manifest, so a mismatch is observed symmetrically
+// on both ends instead of surfacing as a bare hangup at the dialer. It reads
+// exact byte counts straight off the connection — no read-ahead buffering —
+// so frames the dialer pipelines right behind the handshake stay in the
+// socket for the receive loop.
+func (s *Stream) acceptHandshake(c net.Conn, deadline time.Time) (model.NodeID, error) {
 	c.SetReadDeadline(deadline)
 	defer c.SetReadDeadline(time.Time{})
+	peer, theirMan, err := readHandshake(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeHandshake(c, s.self, s.manEnc); err != nil {
+		return 0, fmt.Errorf("transport: handshake answer: %w", err)
+	}
+	if err := s.checkManifest(peer, theirMan); err != nil {
+		return 0, err
+	}
+	return peer, nil
+}
+
+// writeHandshake writes one endpoint's hello: magic, node ID, manifest.
+func writeHandshake(c net.Conn, self model.NodeID, manEnc []byte) error {
+	buf := append([]byte(nil), streamMagic...)
+	buf = binary.AppendUvarint(buf, uint64(self))
+	buf = codec.AppendBytes(buf, manEnc)
+	_, err := c.Write(buf)
+	return err
+}
+
+// readHandshake reads one endpoint's hello, distinguishing a wrong wire
+// version (a peer of this protocol, older or newer) from a stray connection.
+func readHandshake(c net.Conn) (model.NodeID, []byte, error) {
 	magic := make([]byte, len(streamMagic))
 	if _, err := io.ReadFull(c, magic); err != nil {
-		return 0, fmt.Errorf("transport: handshake read: %w", err)
+		return 0, nil, fmt.Errorf("transport: handshake read: %w", err)
 	}
-	if string(magic) != string(streamMagic) {
-		return 0, fmt.Errorf("transport: handshake magic mismatch")
+	if string(magic[:len(magic)-1]) != string(streamMagic[:len(streamMagic)-1]) {
+		return 0, nil, fmt.Errorf("transport: handshake magic mismatch")
+	}
+	if magic[len(magic)-1] != streamMagic[len(streamMagic)-1] {
+		return 0, nil, fmt.Errorf("transport: handshake version mismatch: peer speaks wire version %d, this node speaks %d",
+			magic[len(magic)-1], streamMagic[len(streamMagic)-1])
 	}
 	peer, err := binary.ReadUvarint(oneByteReader{c})
 	if err != nil {
-		return 0, fmt.Errorf("transport: handshake node id: %w", err)
+		return 0, nil, fmt.Errorf("transport: handshake node id: %w", err)
 	}
-	return model.NodeID(peer), nil
+	n, err := binary.ReadUvarint(oneByteReader{c})
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: handshake manifest length: %w", err)
+	}
+	if n > maxWireFrame {
+		return 0, nil, fmt.Errorf("transport: %d-byte handshake manifest exceeds the %d cap", n, maxWireFrame)
+	}
+	man := make([]byte, n)
+	if _, err := io.ReadFull(c, man); err != nil {
+		return 0, nil, fmt.Errorf("transport: handshake manifest: %w", err)
+	}
+	return model.NodeID(peer), man, nil
+}
+
+// checkManifest requires the peer's manifest encoding to be byte-identical
+// to ours — canonical encodings, so byte equality is manifest equality.
+func (s *Stream) checkManifest(peer model.NodeID, theirs []byte) error {
+	if string(theirs) == string(s.manEnc) {
+		return nil
+	}
+	theirMan, err := DecodeManifest(theirs)
+	rendered := "(undecodable)"
+	if err == nil {
+		rendered = theirMan.String()
+	}
+	return fmt.Errorf("transport: object manifest mismatch with node %s: ours %s, theirs %s", peer, s.man, rendered)
 }
 
 // oneByteReader adapts an io.Reader to io.ByteReader with single-byte reads
@@ -477,10 +580,12 @@ func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 			}
 			return
 		}
+		objs := make([]ObjID, len(frames))
+		for i, f := range frames {
+			objs[i] = f.Obj
+		}
 		s.statsMu.Lock()
-		s.stats.Recv[peer].Batches++
-		s.stats.Recv[peer].Frames += len(frames)
-		s.stats.Recv[peer].Bytes += uvarintLen(n) + int(n)
+		s.stats.noteRecv(peer, 1, uvarintLen(n)+int(n), objs)
 		s.statsMu.Unlock()
 		for _, f := range frames {
 			select {
@@ -530,6 +635,7 @@ func (s *Stream) Broadcast(f Frame) error {
 	}
 	s.pend = append(s.pend, env...)
 	s.pendN++
+	s.pendObjs = append(s.pendObjs, f.Obj)
 	s.statsMu.Lock()
 	s.stats.FramesQueued++
 	s.statsMu.Unlock()
@@ -580,9 +686,10 @@ func (s *Stream) flushLocked(trigger int) error {
 	}
 	body := append(codec.AppendUvarint(make([]byte, 0, len(s.pend)+2*binary.MaxVarintLen64), uint64(s.pendN)), s.pend...)
 	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
-	n := s.pendN
+	objs := append([]ObjID(nil), s.pendObjs...)
 	s.pend = s.pend[:0]
 	s.pendN = 0
+	s.pendObjs = s.pendObjs[:0]
 	s.statsMu.Lock()
 	switch trigger {
 	case trigFrames:
@@ -612,9 +719,7 @@ func (s *Stream) flushLocked(trigger int) error {
 			continue
 		}
 		s.statsMu.Lock()
-		s.stats.Sent[peer].Frames += n
-		s.stats.Sent[peer].Batches++
-		s.stats.Sent[peer].Bytes += len(buf)
+		s.stats.noteSent(model.NodeID(peer), 1, len(buf), objs)
 		s.statsMu.Unlock()
 	}
 	return firstErr
@@ -648,9 +753,7 @@ func (s *Stream) Send(to model.NodeID, f Frame) error {
 		return fmt.Errorf("transport: sending to node %s: %w", to, err)
 	}
 	s.statsMu.Lock()
-	s.stats.Sent[to].Frames++
-	s.stats.Sent[to].Batches++
-	s.stats.Sent[to].Bytes += len(buf)
+	s.stats.noteSent(to, 1, len(buf), []ObjID{f.Obj})
 	s.statsMu.Unlock()
 	return nil
 }
@@ -673,6 +776,10 @@ func (s *Stream) Stats() Stats {
 	defer s.statsMu.Unlock()
 	return s.stats.clone()
 }
+
+// Manifest returns the object manifest this endpoint handshakes with (nil
+// for a single-object group).
+func (s *Stream) Manifest() Manifest { return s.man }
 
 // Recv returns the next frame received from any peer. Buffered frames are
 // always served first — a peer that finished and hung up has already pushed

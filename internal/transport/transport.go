@@ -71,12 +71,20 @@ func KindName(k byte) string {
 	return fmt.Sprintf("unknown(%d)", k)
 }
 
+// ObjID names one replicated object within a multiplexed mesh. A group that
+// replicates a single object uses ID 0 throughout; a Node demultiplexes many
+// objects over one endpoint by the IDs its Manifest declares.
+type ObjID uint64
+
 // Frame is one addressed wire message: routing metadata plus an opaque
-// canonical payload. Deps carries the origin's causal dependency set (the
-// MsgIDs visible when the operation was issued) for algorithms that require
+// canonical payload. Obj scopes the frame to one replicated object when many
+// share the transport (0 for a single-object group). Deps carries the
+// origin's causal dependency set (the MsgIDs visible when the operation was
+// issued, within the object's own mid space) for algorithms that require
 // causal delivery; it is empty otherwise.
 type Frame struct {
 	Kind    byte
+	Obj     ObjID
 	MID     model.MsgID
 	From    model.NodeID
 	Deps    []model.MsgID
