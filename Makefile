@@ -49,8 +49,10 @@ chaos:
 
 # Mirror of CI's socket-transport smoke: the in-repo two-OS-process test plus
 # the node/manifest multiplexing tests, the crdt-sim two-process unix demo,
-# and a two-process multi-object demo (four mixed-kind objects over one
-# socket pair), checking byte-identical canonical states per object.
+# a two-process multi-object demo (four mixed-kind objects over one socket
+# pair), checking byte-identical canonical states per object, and a weighted
+# per-object scheduler demo (8:1 weights plus a 5ms delay override) whose
+# scheduler ledger the binary itself checks for balance.
 sockets:
 	go test -run 'TestStream|TestNode|TestManifest' ./internal/transport/
 	@D=$$(mktemp -d); \
@@ -74,6 +76,19 @@ sockets:
 		[ -n "$$s0" ] && [ "$$s0" = "$$s1" ] || { echo "object $$o diverged"; exit 1; }; \
 	done; \
 	grep -q 'over 1 connection(s)' "$$D/p0.log" || { echo "node 0 opened more than one socket pair"; exit 1; }
+	@D=$$(mktemp -d); \
+	go build -o "$$D/crdt-sim" ./cmd/crdt-sim; \
+	SCHED="-objects 4 -mixed -ops 12 -seed 7 -batch-frames 64 -weights 1:8,2:1 -obj-max-delay 2:5ms"; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 0 $$SCHED > "$$D/p0.log" & \
+	sleep 0.2; \
+	"$$D/crdt-sim" -transport unix -addrs "$$D/a.sock,$$D/b.sock" -node 1 $$SCHED > "$$D/p1.log"; \
+	wait; cat "$$D/p0.log" "$$D/p1.log"; \
+	for o in 1 2 3 4; do \
+		s0=$$(awk -v o="$$o" '$$3=="obj" && $$4==o && /canonical state/{print $$NF}' "$$D/p0.log"); \
+		s1=$$(awk -v o="$$o" '$$3=="obj" && $$4==o && /canonical state/{print $$NF}' "$$D/p1.log"); \
+		[ -n "$$s0" ] && [ "$$s0" = "$$s1" ] || { echo "object $$o diverged under the weighted scheduler"; exit 1; }; \
+	done; \
+	grep -q 'scheduler queued/drained' "$$D/p0.log" || { echo "node 0 printed no scheduler ledger"; exit 1; }
 
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzCheckACC$$' -fuzztime 30s ./internal/core/

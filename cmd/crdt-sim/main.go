@@ -72,6 +72,22 @@
 // processes), a per-object transport-frame breakdown whose counters must sum
 // exactly to the per-peer wire totals, and the product state.
 //
+// With -weights the shared endpoint schedules sends per object: each object
+// gets its own send queue, drained into batch containers by deficit-weighted
+// round-robin (an object of weight 8 gets up to 8× the frames of a weight-1
+// object per scheduling round). -obj-max-delay gives named objects their own
+// flush deadline: when it expires, only that object's queue goes to the wire
+// while the others keep batching — a latency floor for quiet objects sharing
+// the endpoint with chatty ones. Scheduling reorders sends across objects
+// only, never within one, so convergence is untouched:
+//
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -objects 4 -mixed -batch-frames 64 -weights 1:8,2:1 -obj-max-delay 2:5ms -ops 16 -seed 7 &
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 1 -objects 4 -mixed -batch-frames 64 -weights 1:8,2:1 -obj-max-delay 2:5ms -ops 16 -seed 7
+//
+// Each process prints the scheduler's per-object ledger (frames queued and
+// drained, cap- and deadline-attributed flushes, p99 enqueue→wire delay) and
+// exits non-zero if the ledger does not balance against the wire totals.
+//
 // Chaos fault injection needs the deterministic in-memory transport and
 // refuses to combine with sockets.
 package main
@@ -82,6 +98,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -125,6 +142,9 @@ func main() {
 		batchBytes  = flag.Int("batch-bytes", 0, "socket transports: flush the pending batch once it reaches B bytes of nested frames (0 = no byte cap)")
 		flushEvery  = flag.Duration("flush-every", 0, "socket transports: flush the pending batch at most this long after its first frame queued (0 = no delay timer)")
 
+		weights   = flag.String("weights", "", "socket transports: per-object send-queue weights as obj:w pairs (e.g. 1:8,2:1); queues drain into shared batches by deficit-weighted round-robin")
+		objDelays = flag.String("obj-max-delay", "", "socket transports: per-object flush-delay overrides as obj:dur pairs (e.g. 2:5ms); an override flushes only that object's queue, even while the others keep batching")
+
 		objects = flag.Int("objects", 1, "socket transports: replicate N independent objects multiplexed over the one socket mesh (manifest object ids 1..N)")
 		mixed   = flag.Bool("mixed", false, "socket transports: with -objects, cycle the objects through different algorithms and print a product reassembled from the first two")
 	)
@@ -144,6 +164,15 @@ func main() {
 		fail("-batch-frames, -batch-bytes and -flush-every must be non-negative")
 	}
 	policy := transport.BatchPolicy{MaxFrames: *batchFrames, MaxBytes: *batchBytes, MaxDelay: *flushEvery}
+	weightTab, err := parseWeights(*weights)
+	if err != nil {
+		fail("%v", err)
+	}
+	delayTab, err := parseObjDelays(*objDelays)
+	if err != nil {
+		fail("%v", err)
+	}
+	schedPol := transport.SchedPolicy{Weights: weightTab, MaxDelay: delayTab}
 	switch *trans {
 	case "mem":
 		if *addrs != "" {
@@ -151,6 +180,9 @@ func main() {
 		}
 		if *batchFrames != 0 || *batchBytes != 0 || *flushEvery != 0 {
 			fail("write batching applies to socket transports: pass -transport unix or -transport tcp")
+		}
+		if *weights != "" || *objDelays != "" {
+			fail("-weights and -obj-max-delay apply to socket transports: pass -transport unix or -transport tcp")
 		}
 		if *latePeers != "" || *catchUp {
 			fail("-late-peers and -catch-up apply to socket transports: pass -transport unix or -transport tcp")
@@ -179,9 +211,9 @@ func main() {
 			fail("-mixed needs -objects of at least 2 to mix algorithms")
 		}
 		if *objects > 1 {
-			os.Exit(runPeerMulti(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, *snap, late, *catchUp, *objects, *mixed))
+			os.Exit(runPeerMulti(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp, *objects, *mixed))
 		}
-		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, *snap, late, *catchUp))
+		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp))
 	default:
 		fail("unknown transport %q (have: mem, unix, tcp)", *trans)
 	}
@@ -210,6 +242,73 @@ func parseLatePeers(s string) ([]model.NodeID, error) {
 	return out, nil
 }
 
+// parseWeights turns the -weights flag value ("obj:w,obj:w") into the
+// scheduler's per-object weight table.
+func parseWeights(s string) (map[transport.ObjID]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[transport.ObjID]int{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("-weights entry %q is not an obj:weight pair", part)
+		}
+		obj, err := strconv.Atoi(kv[0])
+		if err != nil || obj < 0 {
+			return nil, fmt.Errorf("-weights entry %q: %q is not an object id", part, kv[0])
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-weights entry %q: weight must be a positive integer", part)
+		}
+		out[transport.ObjID(obj)] = w
+	}
+	return out, nil
+}
+
+// parseObjDelays turns the -obj-max-delay flag value ("obj:dur,obj:dur") into
+// the scheduler's per-object flush-delay override table.
+func parseObjDelays(s string) (map[transport.ObjID]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[transport.ObjID]time.Duration{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("-obj-max-delay entry %q is not an obj:duration pair", part)
+		}
+		obj, err := strconv.Atoi(kv[0])
+		if err != nil || obj < 0 {
+			return nil, fmt.Errorf("-obj-max-delay entry %q: %q is not an object id", part, kv[0])
+		}
+		d, err := time.ParseDuration(kv[1])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("-obj-max-delay entry %q: %q is not a positive duration", part, kv[1])
+		}
+		out[transport.ObjID(obj)] = d
+	}
+	return out, nil
+}
+
+// schedStatsLine renders the scheduler's per-object ledger for printing, in
+// ascending object-id order.
+func schedStatsLine(ss transport.SchedStats) string {
+	ids := make([]int, 0, len(ss.Objects))
+	for id := range ss.Objects {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		so := ss.Objects[transport.ObjID(id)]
+		parts = append(parts, fmt.Sprintf("%d:%d/%d cap=%d deadline=%d p99=%s",
+			id, so.Queued, so.Drained, so.CapFlushes, so.DeadlineFlushes, so.DelayQuantile(0.99)))
+	}
+	return strings.Join(parts, " ")
+}
+
 // runPeer runs one node of a socket mesh: it generates the shared script
 // from the seed, plays its own share over the stream transport (batching
 // writes per the policy), and prints the canonical state every process must
@@ -218,7 +317,7 @@ func parseLatePeers(s string) ([]model.NodeID, error) {
 // protocol: early peers serve checkpoint-plus-suffix responses and compact
 // their logs every snapEvery applied frames; the joiner installs the first
 // response before playing its share.
-func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, snapEvery int, late []model.NodeID, catchUp bool) int {
+func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -233,6 +332,9 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 	}
 	script := sim.GenScript(alg.New(), alg.Abs, sim.GenFunc(alg.GenOp), len(addrList), ops, seed, alg.NeedsCausal)
 	sopts := []transport.StreamOption{transport.WithRecvTimeout(30 * time.Second), transport.WithBatching(policy)}
+	if len(schedPol.Weights) > 0 || len(schedPol.MaxDelay) > 0 {
+		sopts = append(sopts, transport.WithScheduler(schedPol))
+	}
 	switch {
 	case catchUp:
 		sopts = append(sopts, transport.AsLateJoiner())
@@ -292,6 +394,13 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 		fmt.Printf("node %d: transport sent %d frames in %d batches (%d B), received %d frames in %d batches (%d B), flushes frames=%d bytes=%d delay=%d explicit=%d close=%d\n",
 			node, sent.Frames, sent.Batches, sent.Bytes, recv.Frames, recv.Batches, recv.Bytes,
 			ts.Flushes.Frames, ts.Flushes.Bytes, ts.Flushes.Delay, ts.Flushes.Explicit, ts.Flushes.Close)
+		if ts.Sched.Enabled {
+			if err := ts.SchedBalance(); err != nil {
+				fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+				return 1
+			}
+			fmt.Printf("node %d: scheduler queued/drained: %s\n", node, schedStatsLine(ts.Sched))
+		}
 	}
 	if catchUp || snapEvery > 0 || len(late) > 0 {
 		ss := p.SnapshotStats()
@@ -329,7 +438,7 @@ func multiManifest(alg registry.Algorithm, objects int, mixed bool) transport.Ma
 // across processes), the per-object transport-frame breakdown (whose sums
 // must balance the per-peer wire totals — checked here, not just printed),
 // and with -mixed a product state reassembled from the first two objects.
-func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, snapEvery int, late []model.NodeID, catchUp bool, objects int, mixed bool) int {
+func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool, objects int, mixed bool) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -361,6 +470,9 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 		transport.WithRecvTimeout(30 * time.Second),
 		transport.WithBatching(policy),
 		transport.WithManifest(man),
+	}
+	if len(schedPol.Weights) > 0 || len(schedPol.MaxDelay) > 0 {
+		sopts = append(sopts, transport.WithScheduler(schedPol))
 	}
 	switch {
 	case catchUp:
@@ -454,6 +566,12 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 	if sentObj != sent.Frames || recvObj != recv.Frames {
 		return fail("per-object frame counters (sent %d, recv %d) do not sum to the per-peer totals (sent %d, recv %d)",
 			sentObj, recvObj, sent.Frames, recv.Frames)
+	}
+	if ts.Sched.Enabled {
+		if err := ts.SchedBalance(); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Printf("node %d: scheduler queued/drained: %s\n", node, schedStatsLine(ts.Sched))
 	}
 	if mixed {
 		p1, _ := n.Peer(man[0].ID)

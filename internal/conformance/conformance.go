@@ -35,11 +35,19 @@
 //     counters summing exactly to the per-peer wire totals, hold exactly one
 //     socket pair per process pair, and serve a late joiner a per-object
 //     snapshot catch-up over that one pair;
-//  11. codec round-trip: every op, return value, effector and replica state
+//  11. per-object fairness: a chatty and a quiet object sharing scheduled
+//     endpoints (per-object send queues drained by deficit-weighted
+//     round-robin, per-object max-delay overrides) — a deterministic
+//     weighted Mem leg that must replay byte-for-byte, and a live
+//     unix-socket leg where the quiet object's max-delay override forces
+//     its frames onto the wire while the chatty backlog stays batched,
+//     with the scheduler ledger and the per-object frame counters balancing
+//     on every peer;
+//  12. codec round-trip: every op, return value, effector and replica state
 //     reached by drained runs survives decode(encode(x)) == x through the
 //     canonical binary codec, and converged replicas encode byte-equal
 //     (the canonical-form guarantee);
-//  12. contextual refinement on a client program (the Abstraction Theorem's
+//  13. contextual refinement on a client program (the Abstraction Theorem's
 //     client-facing guarantee), when a client is supplied.
 //
 // A nil error from Run means the algorithm passed every applicable check.
@@ -217,6 +225,13 @@ func Run(alg registry.Algorithm, cfg Config) Report {
 	// over batched Mem endpoints and over a live unix-socket mesh whose third
 	// peer snapshot-catches-up on every object through one shared socket pair.
 	add("multi-object socket mesh", multiObjectChecks(alg, cfg))
+
+	// 6f. Per-object fairness: the delivery scheduler under a chatty/quiet
+	// mixed workload — weighted Mem endpoints replay deterministically, and
+	// on a live unix mesh the quiet object's max-delay override puts its
+	// frames on the wire while the chatty object's backlog stays batched,
+	// with the scheduler ledger balancing on every peer.
+	add("per-object fairness", fairnessChecks(alg, cfg))
 
 	// 7. Codec round-trip: the canonical binary encoding is lossless and
 	// canonical on everything drained runs reach — ops, return values,
@@ -1216,6 +1231,361 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 	if err := memLeg(); err != nil {
 		return fmt.Errorf("mem leg: %w", err)
 	}
+	if err := unixLeg(); err != nil {
+		return fmt.Errorf("unix leg: %w", err)
+	}
+	return nil
+}
+
+// fairnessChecks runs the per-object fairness battery item: a chatty object
+// (the algorithm under test) and a quiet companion share scheduled transport
+// endpoints — per-object send queues drained by deficit-weighted round-robin,
+// with per-object max-delay overrides. Two legs:
+//
+// The Mem leg runs three nodes with a different scheduler policy each (8:1
+// weighted chunked, evenly weighted, and an unscheduled FIFO control) under
+// cap-forced flushes, and requires byte-identical per-object convergence, the
+// per-object frame counters summing to the per-peer wire totals, the
+// scheduler's queued == drained + depth ledger balancing on every node, and a
+// rerun reproducing both the states and the full stats snapshot byte-for-byte
+// — weighted scheduling must not cost the deterministic-replay guarantee.
+//
+// The unix leg runs a live three-node socket mesh whose shared batch policy
+// never flushes on its own (huge frame cap, no shared delay): each node first
+// invokes its chatty ops — which must sit in the chatty send queue — then its
+// quiet ops, whose 10ms max-delay override must force exactly the quiet queue
+// onto the wire (deadline-flush attribution on the quiet object, chatty
+// backlog depth unchanged) while the chatty frames keep waiting for the
+// explicit end-of-run flush. Afterwards both objects must converge
+// byte-identically, every peer's scheduler ledger and per-object counters
+// must balance, and the mesh must still hold one socket pair per process
+// pair.
+func fairnessChecks(alg registry.Algorithm, cfg Config) error {
+	const (
+		nodes  = 3
+		chatty = transport.ObjID(1)
+		quiet  = transport.ObjID(2)
+	)
+	chattyOps := cfg.Steps / 4
+	if chattyOps < 8 {
+		chattyOps = 8
+	}
+	if chattyOps > 12 {
+		chattyOps = 12
+	}
+	const quietOps = 4
+	companion := "counter"
+	if alg.Name == companion {
+		companion = "lww-register"
+	}
+	man := transport.Manifest{
+		{ID: chatty, Name: "chatty", Kind: alg.Name},
+		{ID: quiet, Name: "quiet", Kind: companion},
+	}
+	algs := make([]registry.Algorithm, len(man))
+	scripts := make([]sim.Script, len(man))
+	opsFor := []int{chattyOps, quietOps}
+	for oi, ospec := range man {
+		a, ok := registry.ByName(ospec.Kind)
+		if !ok {
+			return fmt.Errorf("object %d: no algorithm %q in the registry", ospec.ID, ospec.Kind)
+		}
+		algs[oi] = a
+		scripts[oi] = sim.GenScript(a.New(), a.Abs, sim.GenFunc(a.GenOp), nodes, opsFor[oi], 30+int64(oi), a.NeedsCausal)
+	}
+	register := func(n *transport.Node) error {
+		for oi, ospec := range man {
+			if _, err := n.Register(ospec.ID, algs[oi].New(), algs[oi].DecodeEffector, algs[oi].NeedsCausal); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	checkConverged := func(states [][][]byte) error {
+		for oi, ospec := range man {
+			for id := 1; id < nodes; id++ {
+				if !bytes.Equal(states[id][oi], states[0][oi]) {
+					return fmt.Errorf("object %d (%s): node %d's canonical state differs from node 0's", ospec.ID, ospec.Kind, id)
+				}
+			}
+		}
+		return nil
+	}
+	// checkStats asserts both balance invariants a scheduled endpoint owes:
+	// per-object frame counters summing to the per-peer wire totals, and the
+	// scheduler's own queued == drained + depth ledger.
+	checkStats := func(id int, st transport.Stats) error {
+		var sent, recv int
+		for _, io := range st.Objects {
+			sent += io.SentFrames
+			recv += io.RecvFrames
+		}
+		if sent != st.TotalSent().Frames || recv != st.TotalRecv().Frames {
+			return fmt.Errorf("node %d: per-object frame counters (sent %d, recv %d) do not sum to the per-peer totals (sent %d, recv %d)",
+				id, sent, recv, st.TotalSent().Frames, st.TotalRecv().Frames)
+		}
+		if err := st.SchedBalance(); err != nil {
+			return fmt.Errorf("node %d: %w", id, err)
+		}
+		return nil
+	}
+
+	// Leg 1: deterministic weighted Mem mesh. Scheduling policies differ per
+	// node — chunked 8:1, evenly weighted, and a FIFO control — so the DRR
+	// drain order genuinely reorders frames relative to arrival, yet a rerun
+	// must reproduce every byte of state and every stats counter.
+	memLeg := func() ([][][]byte, []transport.Stats, error) {
+		batch := [nodes]transport.BatchPolicy{
+			{MaxFrames: 3},
+			{MaxFrames: 64, MaxBytes: 96},
+			{MaxFrames: 2},
+		}
+		schedPols := [nodes]transport.SchedPolicy{
+			{Weights: map[transport.ObjID]int{chatty: 1, quiet: 8}, ChunkFrames: 2},
+			{Weights: map[transport.ObjID]int{chatty: 2, quiet: 2}, ChunkFrames: 1},
+			{}, // unscheduled FIFO control
+		}
+		m := transport.NewMem(nodes)
+		ns := make([]*transport.Node, nodes)
+		for i := range ns {
+			n, err := transport.NewNode(m.SchedEndpoint(model.NodeID(i), batch[i], schedPols[i]), man)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := register(n); err != nil {
+				return nil, nil, err
+			}
+			ns[i] = n
+		}
+		sched := rand.New(rand.NewSource(33))
+		steps := chattyOps
+		if quietOps > steps {
+			steps = quietOps
+		}
+		for so := 0; so < steps; so++ {
+			for oi, ospec := range man {
+				if so >= len(scripts[oi]) {
+					continue
+				}
+				sop := scripts[oi][so]
+				p, _ := ns[sop.Node].Peer(ospec.ID)
+				if _, err := p.Invoke(sop.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+					return nil, nil, fmt.Errorf("object %d: invoke %v at %s: %w", ospec.ID, sop.Op, sop.Node, err)
+				}
+				for k := sched.Intn(3); k > 0; k-- {
+					if _, err := ns[sched.Intn(nodes)].Step(false); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+		for _, n := range ns {
+			for _, id := range n.Objects() {
+				p, _ := n.Peer(id)
+				if err := p.Done(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		states := make([][][]byte, nodes)
+		stats := make([]transport.Stats, nodes)
+		for i, n := range ns {
+			if err := n.RunToQuiescence(5 * time.Second); err != nil {
+				return nil, nil, fmt.Errorf("node %d: %w", i, err)
+			}
+			states[i] = make([][]byte, len(man))
+			for oi, ospec := range man {
+				p, _ := n.Peer(ospec.ID)
+				states[i][oi] = p.CanonicalState()
+			}
+			stats[i] = n.Transport().(transport.StatsReporter).Stats()
+		}
+		return states, stats, nil
+	}
+
+	states, stats, err := memLeg()
+	if err != nil {
+		return fmt.Errorf("mem leg: %w", err)
+	}
+	if err := checkConverged(states); err != nil {
+		return fmt.Errorf("mem leg: %w", err)
+	}
+	queued := 0
+	for i, st := range stats {
+		if err := checkStats(i, st); err != nil {
+			return fmt.Errorf("mem leg: %w", err)
+		}
+		queued += st.FramesQueued
+	}
+	if queued == 0 {
+		return fmt.Errorf("mem leg: no node queued a single frame — the scripts exercised nothing")
+	}
+	if !stats[0].Sched.Enabled || stats[2].Sched.Enabled {
+		return fmt.Errorf("mem leg: scheduler enablement mis-reported (node 0: %v, node 2: %v)",
+			stats[0].Sched.Enabled, stats[2].Sched.Enabled)
+	}
+	rerunStates, rerunStats, err := memLeg()
+	if err != nil {
+		return fmt.Errorf("mem rerun: %w", err)
+	}
+	if !reflect.DeepEqual(rerunStates, states) {
+		return fmt.Errorf("mem leg is not deterministic: rerun converged to different canonical states")
+	}
+	if !reflect.DeepEqual(rerunStats, stats) {
+		return fmt.Errorf("mem leg is not deterministic: rerun produced a different stats snapshot")
+	}
+
+	// Leg 2: live unix-socket mesh. The shared batch policy never flushes on
+	// its own; only the quiet object's max-delay override may put frames on
+	// the wire before the end-of-run flush.
+	unixLeg := func() error {
+		dir, err := os.MkdirTemp("", "crdt-fairness-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		addrs := make([]string, nodes)
+		for i := range addrs {
+			addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("n%d.sock", i))
+		}
+		batch := transport.BatchPolicy{MaxFrames: 1 << 20}
+		schedPol := transport.SchedPolicy{
+			Weights:     map[transport.ObjID]int{chatty: 1, quiet: 8},
+			MaxDelay:    map[transport.ObjID]time.Duration{quiet: 10 * time.Millisecond},
+			ChunkFrames: 4,
+		}
+		wstates := make([][][]byte, nodes)
+		wire := make([]transport.Stats, nodes)
+		conns := make([]int, nodes)
+		quietIssued := make([]int, nodes)
+		errs := make([]error, nodes)
+		var wg sync.WaitGroup
+		runNode := func(id model.NodeID) {
+			defer wg.Done()
+			errs[id] = func() error {
+				st, err := transport.Listen(id, addrs,
+					transport.WithRecvTimeout(5*time.Second), transport.WithManifest(man),
+					transport.WithBatching(batch), transport.WithScheduler(schedPol))
+				if err != nil {
+					return err
+				}
+				defer st.Close()
+				n, err := transport.NewNode(st, man)
+				if err != nil {
+					return err
+				}
+				if err := register(n); err != nil {
+					return err
+				}
+				invoke := func(oi int, ospec transport.ObjectSpec) error {
+					for _, so := range scripts[oi] {
+						if so.Node != id {
+							continue
+						}
+						p, _ := n.Peer(ospec.ID)
+						if _, err := p.Invoke(so.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
+							return err
+						}
+					}
+					return nil
+				}
+				// Chatty first: its frames must sit in the chatty send queue
+				// (nothing in the shared policy can flush them).
+				if err := invoke(0, man[0]); err != nil {
+					return err
+				}
+				chattyDepth := 0
+				if co := st.Stats().Sched.Objects[chatty]; co != nil {
+					chattyDepth = co.Depth
+				}
+				cp, _ := n.Peer(chatty)
+				if cp.Issued() > 0 && chattyDepth != cp.Issued() {
+					return fmt.Errorf("chatty backlog depth %d after %d issued effectors — the shared policy flushed what only the scheduler may",
+						chattyDepth, cp.Issued())
+				}
+				// Quiet next: its 10ms max-delay override must drain exactly
+				// the quiet queue, leaving the chatty backlog untouched.
+				if err := invoke(1, man[1]); err != nil {
+					return err
+				}
+				qp, _ := n.Peer(quiet)
+				quietIssued[id] = qp.Issued()
+				if quietIssued[id] > 0 {
+					deadline := time.Now().Add(5 * time.Second)
+					for {
+						q := st.Stats().Sched.Objects[quiet]
+						if q != nil && q.Depth == 0 && q.Drained >= quietIssued[id] && q.DeadlineFlushes >= 1 {
+							break
+						}
+						if time.Now().After(deadline) {
+							return fmt.Errorf("quiet object's max-delay override never flushed its queue: %+v", q)
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+					after := st.Stats()
+					if co := after.Sched.Objects[chatty]; chattyDepth > 0 && (co == nil || co.Depth != chattyDepth) {
+						got := 0
+						if co != nil {
+							got = co.Depth
+						}
+						return fmt.Errorf("chatty backlog depth changed from %d to %d while only the quiet deadline fired", chattyDepth, got)
+					}
+					if q := after.Sched.Objects[quiet]; q.DelaySamples > 0 && q.DelayMax > 5*time.Second {
+						return fmt.Errorf("quiet enqueue→wire delay %s wildly exceeds the 10ms override", q.DelayMax)
+					}
+				}
+				for _, obj := range n.Objects() {
+					p, _ := n.Peer(obj)
+					if err := p.Done(); err != nil {
+						return err
+					}
+				}
+				if err := n.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				wstates[id] = make([][]byte, len(man))
+				for oi, ospec := range man {
+					p, _ := n.Peer(ospec.ID)
+					wstates[id][oi] = p.CanonicalState()
+				}
+				wire[id] = st.Stats()
+				conns[id] = len(st.ConnectedPeers())
+				return nil
+			}()
+		}
+		wg.Add(nodes)
+		for i := 0; i < nodes; i++ {
+			go runNode(model.NodeID(i))
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				return fmt.Errorf("peer %d: %w", id, err)
+			}
+		}
+		if err := checkConverged(wstates); err != nil {
+			return err
+		}
+		totalQuiet := 0
+		for id := 0; id < nodes; id++ {
+			if conns[id] != nodes-1 {
+				return fmt.Errorf("node %d holds %d connections for %d peers — objects must share one socket pair per process pair",
+					id, conns[id], nodes-1)
+			}
+			if !wire[id].Sched.Enabled {
+				return fmt.Errorf("node %d: scheduler not enabled despite WithScheduler", id)
+			}
+			if err := checkStats(id, wire[id]); err != nil {
+				return err
+			}
+			totalQuiet += quietIssued[id]
+		}
+		if totalQuiet == 0 {
+			return fmt.Errorf("no node issued a quiet effector — the override path went unexercised")
+		}
+		return nil
+	}
+
 	if err := unixLeg(); err != nil {
 		return fmt.Errorf("unix leg: %w", err)
 	}

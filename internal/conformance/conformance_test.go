@@ -12,12 +12,12 @@ import (
 )
 
 // TestAllAlgorithmsConform: the full battery passes for all nine algorithms,
-// with the applicable client programs. The battery has 14 checks: spec
+// with the applicable client programs. The battery has 15 checks: spec
 // well-formedness (×3), CRDT-TS obligations, witness + SEC, exhaustive
 // bounded decision, parallel schedule exploration, fault-injection
 // convergence, snapshot recovery, batched transport convergence, socket
-// snapshot catch-up, multi-object socket mesh, codec round-trip, and client
-// refinement.
+// snapshot catch-up, multi-object socket mesh, per-object fairness, codec
+// round-trip, and client refinement.
 func TestAllAlgorithmsConform(t *testing.T) {
 	clients := map[string]string{
 		"counter":  `node t1 { inc(1); x := read(); } node t2 { dec(1); y := read(); }`,
@@ -35,8 +35,8 @@ func TestAllAlgorithmsConform(t *testing.T) {
 			if err := rep.Err(); err != nil {
 				t.Fatalf("%v\n%s", err, rep)
 			}
-			if len(rep.Checks) != 14 {
-				t.Fatalf("checks = %d, want 14", len(rep.Checks))
+			if len(rep.Checks) != 15 {
+				t.Fatalf("checks = %d, want 15", len(rep.Checks))
 			}
 		})
 	}

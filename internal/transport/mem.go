@@ -274,12 +274,25 @@ func (m *Mem) Endpoint(id model.NodeID) Transport {
 // replay byte-for-byte like unbatched ones. Each call creates a fresh view
 // with its own pending batch and counters.
 func (m *Mem) BatchedEndpoint(id model.NodeID, p BatchPolicy) Transport {
+	return m.SchedEndpoint(id, p, SchedPolicy{})
+}
+
+// SchedEndpoint returns node id's batched view with a per-object delivery
+// scheduler: flushes drain the per-object send queues into batch containers
+// by deficit-weighted round-robin, exactly as the socket Stream does under
+// WithScheduler — and fully deterministically, since the round-robin ring
+// order depends only on the broadcast sequence. Mem runs on a virtual clock,
+// so the per-object MaxDelay overrides (like BatchPolicy.MaxDelay) do not
+// apply: pending frames wait for a cap or an explicit Flush. The zero
+// SchedPolicy keeps the shared arrival-order drain.
+func (m *Mem) SchedEndpoint(id model.NodeID, p BatchPolicy, sp SchedPolicy) Transport {
 	if int(id) < 0 || int(id) >= m.n {
 		panic(fmt.Sprintf("transport: no such node %s", id))
 	}
-	e := &memEndpoint{m: m, self: id, policy: p.normalized()}
+	e := &memEndpoint{m: m, self: id, policy: p.normalized(), sq: newSched(sp, false)}
 	e.stats.Sent = make([]PeerIO, m.n)
 	e.stats.Recv = make([]PeerIO, m.n)
+	e.stats.Sched.Enabled = e.sq.drr
 	return e
 }
 
@@ -287,64 +300,74 @@ type memEndpoint struct {
 	m    *Mem
 	self model.NodeID
 
-	policy    BatchPolicy
-	pend      []Frame
-	pendBytes int
-	stats     Stats
+	policy BatchPolicy
+	sq     *sched
+	stats  Stats
 }
 
 func (e *memEndpoint) Self() model.NodeID { return e.self }
 func (e *memEndpoint) N() int             { return e.m.n }
 
 func (e *memEndpoint) Broadcast(f Frame) error {
-	e.pend = append(e.pend, f)
 	// Byte accounting mirrors the socket wire: the nested checksummed
 	// envelope the frame would cost in a batch container.
-	e.pendBytes += len(EncodeWire(f))
+	e.sq.enqueue(schedItem{obj: f.Obj, frame: f, wire: len(EncodeWire(f))})
 	e.stats.FramesQueued++
+	e.stats.Sched.noteQueued(f.Obj)
 	switch {
-	case len(e.pend) >= e.policy.MaxFrames:
-		return e.flush(trigFrames)
-	case e.policy.MaxBytes > 0 && e.pendBytes >= e.policy.MaxBytes:
-		return e.flush(trigBytes)
+	case e.sq.pendN >= e.policy.MaxFrames:
+		return e.flush(trigFrames, f.Obj)
+	case e.policy.MaxBytes > 0 && e.sq.pendBytes >= e.policy.MaxBytes:
+		return e.flush(trigBytes, f.Obj)
 	}
 	return nil
 }
 
-// flush queues every pending frame for every peer at the current tick, in
-// broadcast order.
-func (e *memEndpoint) flush(trigger int) error {
-	if len(e.pend) == 0 {
+// flush drains every pending queue into the network at the current tick —
+// scheduler drain order, one noteSent container per drained chunk, the
+// trigger counted once however many containers the backlog needs. Every
+// flushed frame arrives at the flush tick, so batched executions replay
+// byte-for-byte whatever the drain order.
+func (e *memEndpoint) flush(trigger int, cause ObjID) error {
+	if e.sq.pendN == 0 {
 		return nil
 	}
-	bytes := e.pendBytes
-	objs := make([]ObjID, len(e.pend))
-	for i, f := range e.pend {
-		objs[i] = f.Obj
-		for dst := 0; dst < e.m.n; dst++ {
-			if model.NodeID(dst) == e.self {
-				continue
-			}
-			e.m.Put(model.NodeID(dst), &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
-		}
-	}
-	e.pend = e.pend[:0]
-	e.pendBytes = 0
 	switch trigger {
 	case trigFrames:
 		e.stats.Flushes.Frames++
+		e.stats.Sched.noteCapFlush(cause)
 	case trigBytes:
 		e.stats.Flushes.Bytes++
+		e.stats.Sched.noteCapFlush(cause)
 	case trigExplicit:
 		e.stats.Flushes.Explicit++
 	case trigClose:
 		e.stats.Flushes.Close++
 	}
-	for dst := 0; dst < e.m.n; dst++ {
-		if model.NodeID(dst) == e.self {
-			continue
+	for e.sq.pendN > 0 {
+		items := e.sq.drainChunk(e.sq.pol.ChunkFrames, 0)
+		if len(items) == 0 {
+			break
 		}
-		e.stats.noteSent(model.NodeID(dst), 1, bytes, objs)
+		bytes := 0
+		objs := make([]ObjID, len(items))
+		for i, it := range items {
+			bytes += it.wire
+			objs[i] = it.obj
+			for dst := 0; dst < e.m.n; dst++ {
+				if model.NodeID(dst) == e.self {
+					continue
+				}
+				e.m.Put(model.NodeID(dst), &Queued{Frame: it.frame, Copies: 1, ReadyAt: e.m.now})
+			}
+			e.stats.Sched.noteDrained(it.obj, 0, false)
+		}
+		for dst := 0; dst < e.m.n; dst++ {
+			if model.NodeID(dst) == e.self {
+				continue
+			}
+			e.stats.noteSent(model.NodeID(dst), 1, bytes, objs)
+		}
 	}
 	return nil
 }
@@ -356,7 +379,7 @@ func (e *memEndpoint) Send(to model.NodeID, f Frame) error {
 	if int(to) < 0 || int(to) >= e.m.n || to == e.self {
 		return fmt.Errorf("transport: cannot unicast to node %s", to)
 	}
-	if err := e.flush(trigExplicit); err != nil {
+	if err := e.flush(trigExplicit, 0); err != nil {
 		return err
 	}
 	e.m.Put(to, &Queued{Frame: f, Copies: 1, ReadyAt: e.m.now})
@@ -365,7 +388,7 @@ func (e *memEndpoint) Send(to model.NodeID, f Frame) error {
 }
 
 // Flush forces the pending batch into the network queues.
-func (e *memEndpoint) Flush() error { return e.flush(trigExplicit) }
+func (e *memEndpoint) Flush() error { return e.flush(trigExplicit, 0) }
 
 // Stats returns a snapshot of the endpoint's batching and IO counters.
 func (e *memEndpoint) Stats() Stats { return e.stats.clone() }
@@ -409,4 +432,4 @@ func (e *memEndpoint) Recv(wait bool) (Frame, bool, error) {
 
 // Close drains the pending batch into the network (the clean-hangup
 // semantics the socket transport has: no queued frame is lost).
-func (e *memEndpoint) Close() error { return e.flush(trigClose) }
+func (e *memEndpoint) Close() error { return e.flush(trigClose, 0) }

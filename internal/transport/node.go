@@ -133,24 +133,26 @@ func (n *Node) CatchUp() error {
 func (n *Node) AwaitCatchUp(deadline time.Duration) error {
 	limit := time.Now().Add(deadline)
 	for {
-		pending := 0
-		for _, p := range n.peers {
-			if p.requested && !p.CaughtUp() {
-				pending++
+		// Collect the still-pending objects in registration order, so a
+		// timeout names exactly which catch-ups stalled (not just how many).
+		var stuck []ObjID
+		for _, id := range n.order {
+			if p := n.peers[id]; p.requested && !p.CaughtUp() {
+				stuck = append(stuck, id)
 			}
 		}
-		if pending == 0 {
+		if len(stuck) == 0 {
 			return nil
 		}
 		if time.Now().After(limit) {
-			return fmt.Errorf("transport: %w: %d object(s) still awaiting a snapshot response after %s", ErrTimeout, pending, deadline)
+			return fmt.Errorf("transport: %w: object(s) %v still awaiting a snapshot response after %s", ErrTimeout, stuck, deadline)
 		}
 		ok, err := n.Step(true)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("transport: network drained while %d object(s) awaited snapshot responses", pending)
+			return fmt.Errorf("transport: network drained while object(s) %v awaited snapshot responses", stuck)
 		}
 	}
 }

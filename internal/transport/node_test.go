@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -275,5 +276,43 @@ func TestMemMultiObjectKeying(t *testing.T) {
 		if f.Obj != want || f.MID != 7 {
 			t.Fatalf("recv obj=%d mid=%d, want obj=%d mid=7 (deterministic (ready, obj, mid) order)", f.Obj, f.MID, want)
 		}
+	}
+}
+
+// TestNodeAwaitCatchUpNamesPendingObjects: a catch-up that cannot resolve
+// must name exactly which object IDs are still waiting — in registration
+// order — not just count them, so a stalled multi-object joiner is
+// diagnosable from the error alone.
+func TestNodeAwaitCatchUpNamesPendingObjects(t *testing.T) {
+	man := transport.Manifest{
+		{ID: 5, Name: "accounts", Kind: "counter"},
+		{ID: 7, Name: "tags", Kind: "g-set"},
+	}
+	m := transport.NewMem(2)
+	n, err := transport.NewNode(m.Endpoint(0), man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range man {
+		alg := algFor(t, spec.Kind)
+		if _, err := n.Register(spec.ID, alg.New(), alg.DecodeEffector, alg.NeedsCausal,
+			transport.WithCatchUp(alg.DecodeState)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody serves snapshots on the other end, so the deadline (already in
+	// the past) must surface both stalled objects by ID.
+	err = n.AwaitCatchUp(-time.Nanosecond)
+	if err == nil {
+		t.Fatal("AwaitCatchUp resolved without any snapshot response")
+	}
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want transport.ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "[5 7]") {
+		t.Fatalf("timeout error does not name the pending objects in order: %v", err)
 	}
 }

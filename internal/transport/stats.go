@@ -23,10 +23,27 @@ type BatchPolicy struct {
 	MaxDelay  time.Duration
 }
 
-// normalized clamps the policy to its sane form.
+// normalized clamps the policy to its documented contract, which every
+// endpoint applies before use:
+//
+//   - MaxFrames < 1 (the zero value, or a nonsensical negative cap) becomes
+//     1: every frame flushes immediately, the unbatched default.
+//   - MaxBytes < 0 becomes 0: no byte cap. A negative cap is never a valid
+//     threshold, so it must not be distinguishable from "unset".
+//   - MaxDelay < 0 becomes 0: no flush timer, for the same reason.
+//
+// After normalization MaxFrames ≥ 1, MaxBytes ≥ 0, and MaxDelay ≥ 0 hold, so
+// downstream trigger checks may treat zero as "disabled" without re-guarding
+// against negatives.
 func (p BatchPolicy) normalized() BatchPolicy {
 	if p.MaxFrames < 1 {
 		p.MaxFrames = 1
+	}
+	if p.MaxBytes < 0 {
+		p.MaxBytes = 0
+	}
+	if p.MaxDelay < 0 {
+		p.MaxDelay = 0
 	}
 	return p
 }
@@ -90,6 +107,10 @@ type Stats struct {
 	// Objects splits the frame counters by object ID (key 0 for a
 	// single-object group). Nil until the first frame moves.
 	Objects map[ObjID]ObjIO
+	// Sched is the per-object delivery scheduler ledger: queue depths, drain
+	// counts, flush-trigger attribution, and (on scheduled socket endpoints)
+	// the enqueue→wire delay histogram. See SchedStats.
+	Sched SchedStats
 }
 
 // noteSent records one container write to peer carrying the listed frames'
@@ -155,6 +176,7 @@ func (s Stats) clone() Stats {
 		}
 		s.Objects = objs
 	}
+	s.Sched = s.Sched.clone()
 	return s
 }
 

@@ -38,17 +38,19 @@ type Stream struct {
 	// the whole mesh setup (default 15s). Both are set via options.
 	recvTimeout time.Duration
 
-	mu    sync.Mutex // guards conns' write side and the pending batch
+	mu    sync.Mutex // guards conns' write side and the pending queues
 	conns []net.Conn // indexed by peer node ID; nil at self
 
-	// Pending batch: the concatenation of nested frame envelopes queued
-	// since the last flush, the frame count, and the queued frames' object
-	// IDs in order (the per-object stats split). Guarded by mu.
+	// Pending broadcasts: per-object send queues (or one shared FIFO without
+	// a SchedPolicy) drained into batch containers by flushAllLocked /
+	// flushObjLocked. deadlines holds each object's armed flush deadline and
+	// flushTimer fires at the earliest of them (timerAt). Guarded by mu.
 	policy     BatchPolicy
-	pend       []byte
-	pendN      int
-	pendObjs   []ObjID
+	schedPol   SchedPolicy
+	sq         *sched
+	deadlines  map[ObjID]time.Time
 	flushTimer *time.Timer
+	timerAt    time.Time
 
 	// man is the object manifest this endpoint exchanges and validates
 	// during every handshake; manEnc is its canonical encoding (what
@@ -116,6 +118,16 @@ func WithRecvTimeout(d time.Duration) StreamOption {
 // flush triggers). The default policy flushes every frame immediately.
 func WithBatching(p BatchPolicy) StreamOption {
 	return func(s *Stream) { s.policy = p.normalized() }
+}
+
+// WithScheduler installs a per-object delivery scheduler: each object's
+// broadcasts queue separately, flushes drain the queues into batch containers
+// by deficit-weighted round-robin, and per-object MaxDelay overrides can
+// force an object's frames onto the wire earlier than the shared
+// BatchPolicy.MaxDelay — without flushing anyone else's pending batch. See
+// SchedPolicy. Without the option, queued broadcasts drain in arrival order.
+func WithScheduler(p SchedPolicy) StreamOption {
+	return func(s *Stream) { s.schedPol = p.normalized() }
 }
 
 // WithManifest declares the object manifest of a multiplexed mesh: every
@@ -196,6 +208,9 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 	for _, o := range opts {
 		o(s)
 	}
+	s.sq = newSched(s.schedPol, true)
+	s.stats.Sched.Enabled = s.sq.drr
+	s.deadlines = map[ObjID]time.Time{}
 	if err := s.man.Validate(); err != nil {
 		return nil, err
 	}
@@ -613,10 +628,11 @@ func (s *Stream) Self() model.NodeID { return s.self }
 // N returns the replication group size.
 func (s *Stream) N() int { return len(s.addrs) }
 
-// Broadcast queues one frame for every peer. The frame is encoded once into
-// the pending batch; the batch flushes when a policy trigger fires (frame
-// cap, byte cap, delay timer, explicit Flush, or Close). With the default
-// policy the frame flushes immediately, one container per frame.
+// Broadcast queues one frame for every peer: encoded once into its object's
+// send queue (or the shared FIFO without a SchedPolicy), drained when a
+// policy trigger fires (frame cap, byte cap, the object's flush deadline, an
+// explicit Flush, or Close). With the default policy the frame flushes
+// immediately, one container per frame.
 func (s *Stream) Broadcast(f Frame) error {
 	select {
 	case <-s.closed:
@@ -625,41 +641,23 @@ func (s *Stream) Broadcast(f Frame) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Never let a batch outgrow what a receiver accepts: flush what is
-	// pending before a jumbo frame (a large snapshot) would burst the cap.
 	env := codec.AppendFrame(nil, f.Append(nil))
-	if s.pendN > 0 && len(s.pend)+len(env) > maxWireFrame-binary.MaxVarintLen64 {
-		if err := s.flushLocked(trigBytes); err != nil {
-			return err
-		}
+	it := schedItem{obj: f.Obj, env: env, wire: len(env)}
+	if s.sq.sample {
+		it.at = time.Now()
 	}
-	s.pend = append(s.pend, env...)
-	s.pendN++
-	s.pendObjs = append(s.pendObjs, f.Obj)
+	s.sq.enqueue(it)
 	s.statsMu.Lock()
 	s.stats.FramesQueued++
+	s.stats.Sched.noteQueued(f.Obj)
 	s.statsMu.Unlock()
 	switch {
-	case s.pendN >= s.policy.MaxFrames:
-		return s.flushLocked(trigFrames)
-	case s.policy.MaxBytes > 0 && len(s.pend) >= s.policy.MaxBytes:
-		return s.flushLocked(trigBytes)
-	case s.pendN == 1 && s.policy.MaxDelay > 0:
-		// First frame of a fresh batch: arm the flush timer. The callback
-		// re-checks under the lock — a cap-triggered flush in between leaves
-		// it nothing to do.
-		s.flushTimer = time.AfterFunc(s.policy.MaxDelay, func() {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			select {
-			case <-s.closed:
-				return
-			default:
-			}
-			if s.pendN > 0 {
-				s.flushLocked(trigDelay)
-			}
-		})
+	case s.sq.pendN >= s.policy.MaxFrames:
+		return s.flushAllLocked(trigFrames, f.Obj)
+	case s.policy.MaxBytes > 0 && s.sq.pendBytes >= s.policy.MaxBytes:
+		return s.flushAllLocked(trigBytes, f.Obj)
+	default:
+		s.armDeadlineLocked(f.Obj)
 	}
 	return nil
 }
@@ -674,36 +672,194 @@ const (
 	trigClose
 )
 
-// flushLocked writes the pending batch as one length-prefixed container to
-// every peer connection. Called with mu held.
-func (s *Stream) flushLocked(trigger int) error {
-	if s.pendN == 0 {
-		return nil
+// armDeadlineLocked arms obj's flush deadline if it has none yet: the
+// per-object MaxDelay override when set, the shared policy delay otherwise.
+// The single timer always fires at the earliest armed deadline.
+func (s *Stream) armDeadlineLocked(obj ObjID) {
+	d := s.sq.pol.delayFor(obj, s.policy.MaxDelay)
+	if d <= 0 {
+		return
 	}
+	if _, armed := s.deadlines[obj]; armed {
+		return
+	}
+	dl := time.Now().Add(d)
+	s.deadlines[obj] = dl
+	if s.timerAt.IsZero() || dl.Before(s.timerAt) {
+		s.rearmTimerLocked(dl)
+	}
+}
+
+// rearmTimerLocked points the flush timer at deadline dl.
+func (s *Stream) rearmTimerLocked(dl time.Time) {
+	if s.flushTimer != nil {
+		s.flushTimer.Stop()
+	}
+	s.timerAt = dl
+	d := time.Until(dl)
+	if d < 0 {
+		d = 0
+	}
+	s.flushTimer = time.AfterFunc(d, s.onDeadline)
+}
+
+// stopTimerLocked disarms the flush timer (the armed deadlines are the
+// caller's to clear).
+func (s *Stream) stopTimerLocked() {
 	if s.flushTimer != nil {
 		s.flushTimer.Stop()
 		s.flushTimer = nil
 	}
-	body := append(codec.AppendUvarint(make([]byte, 0, len(s.pend)+2*binary.MaxVarintLen64), uint64(s.pendN)), s.pend...)
-	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
-	objs := append([]ObjID(nil), s.pendObjs...)
-	s.pend = s.pend[:0]
-	s.pendN = 0
-	s.pendObjs = s.pendObjs[:0]
+	s.timerAt = time.Time{}
+}
+
+// onDeadline is the flush-timer callback: it drains every object whose
+// deadline has passed — only that object's queue under a SchedPolicy, so the
+// other objects keep batching — then re-arms for the earliest remaining
+// deadline. A cap-triggered flush in between leaves it nothing to do.
+func (s *Stream) onDeadline() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	s.timerAt = time.Time{}
+	now := time.Now()
+	if !s.sq.drr {
+		// Shared FIFO: a due deadline flushes the whole pending batch, the
+		// historical MaxDelay behaviour.
+		for obj, dl := range s.deadlines {
+			if !dl.After(now) {
+				if s.sq.pendN > 0 {
+					s.flushAllLocked(trigDelay, obj)
+				}
+				break
+			}
+		}
+	} else {
+		for {
+			fired := false
+			for obj, dl := range s.deadlines {
+				if !dl.After(now) {
+					s.flushObjLocked(obj)
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				break
+			}
+		}
+	}
+	// Re-arm for the earliest deadline still pending.
+	var next time.Time
+	for _, dl := range s.deadlines {
+		if next.IsZero() || dl.Before(next) {
+			next = dl
+		}
+	}
+	if !next.IsZero() {
+		s.rearmTimerLocked(next)
+	}
+}
+
+// containerLimits returns the per-container frame and byte caps of a drain:
+// ChunkFrames segments a scheduled drain so the weighted order reaches the
+// wire container by container; the byte cap keeps every container within
+// what a receiver accepts (the jumbo-snapshot guard).
+func (s *Stream) containerLimits() (frames, bytes int) {
+	return s.sq.pol.ChunkFrames, maxWireFrame - 2*binary.MaxVarintLen64
+}
+
+// flushAllLocked drains every pending queue to every peer connection,
+// counting the trigger once however many containers the backlog needs. A cap
+// trigger is attributed to the object whose enqueue crossed it, a delay
+// trigger to the object whose deadline fired. Called with mu held.
+func (s *Stream) flushAllLocked(trigger int, cause ObjID) error {
+	if s.sq.pendN == 0 {
+		return nil
+	}
+	s.stopTimerLocked()
+	for obj := range s.deadlines {
+		delete(s.deadlines, obj)
+	}
 	s.statsMu.Lock()
 	switch trigger {
 	case trigFrames:
 		s.stats.Flushes.Frames++
+		s.stats.Sched.noteCapFlush(cause)
 	case trigBytes:
 		s.stats.Flushes.Bytes++
+		s.stats.Sched.noteCapFlush(cause)
 	case trigDelay:
 		s.stats.Flushes.Delay++
+		s.stats.Sched.noteDeadlineFlush(cause)
 	case trigExplicit:
 		s.stats.Flushes.Explicit++
 	case trigClose:
 		s.stats.Flushes.Close++
 	}
 	s.statsMu.Unlock()
+	limitF, limitB := s.containerLimits()
+	var firstErr error
+	for s.sq.pendN > 0 {
+		items := s.sq.drainChunk(limitF, limitB)
+		if len(items) == 0 {
+			break
+		}
+		if err := s.writeContainerLocked(items); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushObjLocked drains one object's queue to every peer connection — the
+// per-object max-delay override path: the other objects' frames stay queued
+// under the shared policy. Called with mu held, DRR mode only.
+func (s *Stream) flushObjLocked(obj ObjID) error {
+	delete(s.deadlines, obj)
+	if s.sq.objPending(obj) == 0 {
+		return nil
+	}
+	s.statsMu.Lock()
+	s.stats.Flushes.Delay++
+	s.stats.Sched.noteDeadlineFlush(obj)
+	s.statsMu.Unlock()
+	limitF, limitB := s.containerLimits()
+	var firstErr error
+	for s.sq.objPending(obj) > 0 {
+		items := s.sq.drainObj(obj, limitF, limitB)
+		if len(items) == 0 {
+			break
+		}
+		if err := s.writeContainerLocked(items); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// writeContainerLocked writes one batch container (uvarint count + the
+// items' nested envelopes, length-prefixed) to every peer connection and
+// settles the ledgers: per-peer/per-object IO, drained counts, and the
+// enqueue→wire delay samples. Called with mu held.
+func (s *Stream) writeContainerLocked(items []schedItem) error {
+	size := 0
+	for _, it := range items {
+		size += it.wire
+	}
+	body := codec.AppendUvarint(make([]byte, 0, size+2*binary.MaxVarintLen64), uint64(len(items)))
+	for _, it := range items {
+		body = append(body, it.env...)
+	}
+	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
+	objs := make([]ObjID, len(items))
+	for i, it := range items {
+		objs[i] = it.obj
+	}
 	// Write to every healthy conn before reporting a failure: aborting on the
 	// first dead peer would silently starve the remaining ones of frames they
 	// were promised.
@@ -722,6 +878,23 @@ func (s *Stream) flushLocked(trigger int) error {
 		s.stats.noteSent(model.NodeID(peer), 1, len(buf), objs)
 		s.statsMu.Unlock()
 	}
+	now := time.Time{}
+	if s.sq.sample {
+		now = time.Now()
+	}
+	s.statsMu.Lock()
+	for _, it := range items {
+		sampled := s.sq.sample && !it.at.IsZero()
+		var delay time.Duration
+		if sampled {
+			delay = now.Sub(it.at)
+			if delay < 0 {
+				delay = 0
+			}
+		}
+		s.stats.Sched.noteDrained(it.obj, delay, sampled)
+	}
+	s.statsMu.Unlock()
 	return firstErr
 }
 
@@ -744,7 +917,7 @@ func (s *Stream) Send(to model.NodeID, f Frame) error {
 	if c == nil {
 		return fmt.Errorf("transport: no connection to node %s", to)
 	}
-	if err := s.flushLocked(trigExplicit); err != nil {
+	if err := s.flushAllLocked(trigExplicit, 0); err != nil {
 		return err
 	}
 	body := EncodeBatch([]Frame{f})
@@ -767,7 +940,7 @@ func (s *Stream) Flush() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.flushLocked(trigExplicit)
+	return s.flushAllLocked(trigExplicit, 0)
 }
 
 // Stats returns a snapshot of the endpoint's batching and IO counters.
@@ -838,11 +1011,8 @@ func (s *Stream) Recv(wait bool) (Frame, bool, error) {
 func (s *Stream) Close() error {
 	s.once.Do(func() {
 		s.mu.Lock()
-		s.flushLocked(trigClose)
-		if s.flushTimer != nil {
-			s.flushTimer.Stop()
-			s.flushTimer = nil
-		}
+		s.flushAllLocked(trigClose, 0)
+		s.stopTimerLocked()
 		s.mu.Unlock()
 		close(s.closed)
 		if s.ln != nil {
