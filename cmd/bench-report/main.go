@@ -9,9 +9,10 @@
 // With -baseline it also gates the parsed rows against a checked-in
 // BENCH_*.json: any case whose ns/op worsened by more than -tolerance exits
 // nonzero (after writing -out, so the artifact of a failing run survives for
-// inspection):
+// inspection). -alloc-tolerance and -bytes-tolerance extend the gate to
+// allocs/op and B/op (negative, the default, leaves each disabled):
 //
-//	go test -bench=StreamThroughput ./internal/transport/ | go run ./cmd/bench-report -json -baseline BENCH_transport.json -tolerance 0.25
+//	go test -bench=StreamThroughput -benchmem ./internal/transport/ | go run ./cmd/bench-report -json -baseline BENCH_transport.json -tolerance 0.25 -alloc-tolerance 0.34
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/benchreport"
 )
@@ -30,10 +33,25 @@ func main() {
 		group     = flag.String("group", "", "keep only rows of this benchmark group (name without the Benchmark prefix)")
 		baseline  = flag.String("baseline", "", "gate against this BENCH_*.json baseline: exit 1 when a case regresses past -tolerance")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed ns/op growth over the baseline before the gate fails (0.25 = +25%)")
+		allocTol  = flag.Float64("alloc-tolerance", -1, "allowed allocs/op growth over the baseline (0.34 = +34%); negative disables the allocs gate")
+		bytesTol  = flag.Float64("bytes-tolerance", -1, "allowed B/op growth over the baseline; negative disables the bytes gate")
 		best      = flag.Bool("best", false, "collapse duplicate cases (go test -count=N) to each case's fastest run")
 		worst     = flag.Bool("worst", false, "collapse duplicate cases to each case's slowest run (for recording a conservative baseline)")
 	)
 	flag.Parse()
+	// A baseline-named output anywhere but the baseline's own path is how a
+	// stray bench_transport.json once landed in the repo root: a run writes
+	// what looks like the checked-in baseline, and a later `git add -A`
+	// commits it. Refuse the footgun — write either the canonical baseline
+	// (same cleaned path) or a file that cannot be mistaken for it.
+	if *out != "" && *baseline != "" &&
+		strings.EqualFold(filepath.Base(*out), filepath.Base(*baseline)) &&
+		filepath.Clean(*out) != filepath.Clean(*baseline) {
+		fmt.Fprintf(os.Stderr,
+			"bench-report: -out %q shadows the baseline %q outside its canonical path; name the output differently (e.g. bench-current.json) or write the baseline in place\n",
+			*out, *baseline)
+		os.Exit(1)
+	}
 	rows, err := benchreport.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
@@ -85,12 +103,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench-report: %v\n", err)
 		os.Exit(1)
 	}
-	regs := benchreport.Compare(rows, base, *tolerance)
+	tol := benchreport.Tolerance{NsPerOp: *tolerance, AllocsPerOp: *allocTol, BytesPerOp: *bytesTol}
+	regs := benchreport.Compare(rows, base, tol)
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "bench-report: no case regressed more than %.0f%% vs %s\n", *tolerance*100, *baseline)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "bench-report: %d case(s) regressed more than %.0f%% vs %s:\n", len(regs), *tolerance*100, *baseline)
+	fmt.Fprintf(os.Stderr, "bench-report: %d regression(s) vs %s:\n", len(regs), *baseline)
 	for _, r := range regs {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}

@@ -88,6 +88,18 @@
 // drained, cap- and deadline-attributed flushes, p99 enqueue→wire delay) and
 // exits non-zero if the ledger does not balance against the wire totals.
 //
+// With -recv-workers N a socket process applies received frames on N
+// parallel per-object shards with bounded queues instead of the interleaved
+// pull loop: each object is pinned to one shard, so per-object delivery
+// order (and with it causal hold-back, dedup and snapshot catch-up) is
+// untouched while distinct objects apply concurrently, and a full shard
+// queue stalls the reader instead of buffering without bound. The process
+// prints the pipeline's per-shard ledger, which must balance against the
+// per-peer wire totals:
+//
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 0 -objects 4 -mixed -recv-workers 2 -ops 16 -seed 7 &
+//	crdt-sim -transport unix -addrs /tmp/a.sock,/tmp/b.sock -node 1 -objects 4 -mixed -recv-workers 2 -ops 16 -seed 7
+//
 // Chaos fault injection needs the deterministic in-memory transport and
 // refuses to combine with sockets.
 package main
@@ -147,6 +159,8 @@ func main() {
 
 		objects = flag.Int("objects", 1, "socket transports: replicate N independent objects multiplexed over the one socket mesh (manifest object ids 1..N)")
 		mixed   = flag.Bool("mixed", false, "socket transports: with -objects, cycle the objects through different algorithms and print a product reassembled from the first two")
+
+		recvWorkers = flag.Int("recv-workers", 0, "socket transports: apply received frames on N parallel per-object shards with bounded queues (0 = legacy pull loop)")
 	)
 	flag.Parse()
 	fail := func(format string, args ...any) {
@@ -190,6 +204,9 @@ func main() {
 		if *objects != 1 || *mixed {
 			fail("-objects and -mixed apply to socket transports: pass -transport unix or -transport tcp")
 		}
+		if *recvWorkers != 0 {
+			fail("-recv-workers applies to socket transports: pass -transport unix or -transport tcp")
+		}
 	case "unix", "tcp":
 		if *chaos {
 			fail("chaos fault injection needs the deterministic in-memory transport: drop -chaos or use -transport mem")
@@ -210,10 +227,13 @@ func main() {
 		if *mixed && *objects < 2 {
 			fail("-mixed needs -objects of at least 2 to mix algorithms")
 		}
-		if *objects > 1 {
-			os.Exit(runPeerMulti(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp, *objects, *mixed))
+		if *recvWorkers < 0 {
+			fail("-recv-workers must be non-negative (got %d)", *recvWorkers)
 		}
-		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp))
+		if *objects > 1 {
+			os.Exit(runPeerMulti(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp, *objects, *mixed, *recvWorkers))
+		}
+		os.Exit(runPeer(alg, *trans, *node, strings.Split(*addrs, ","), *ops, *seed, policy, schedPol, *snap, late, *catchUp, *recvWorkers))
 	default:
 		fail("unknown transport %q (have: mem, unix, tcp)", *trans)
 	}
@@ -309,6 +329,44 @@ func schedStatsLine(ss transport.SchedStats) string {
 	return strings.Join(parts, " ")
 }
 
+// recvStatsLine renders the receive pipeline's per-shard ledger for printing:
+// dispatched/applied frames and the queue-depth high-water mark per shard.
+func recvStatsLine(rs transport.RecvStats) string {
+	parts := make([]string, len(rs.Shards))
+	for i, sh := range rs.Shards {
+		parts[i] = fmt.Sprintf("%d:%d/%d q<=%d", i, sh.Dispatched, sh.Applied, sh.MaxQueue)
+	}
+	return strings.Join(parts, " ")
+}
+
+// finishReceiver stops a pipelined node's receive side after quiescence: it
+// closes the endpoint (nothing further can arrive once every peer is done and
+// drained), waits for the shards to finish, and prints the pipeline ledger,
+// which must balance against the per-peer wire totals — every received frame
+// dispatched to exactly one shard and applied.
+func finishReceiver(node int, n *transport.Node, st *transport.Stream) int {
+	r := n.Receiver()
+	st.Close()
+	select {
+	case <-r.Done():
+	case <-time.After(10 * time.Second):
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: receive pipeline did not drain after close\n", node)
+		return 1
+	}
+	if err := r.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: receive pipeline: %v\n", node, err)
+		return 1
+	}
+	rs := r.Stats()
+	if err := rs.Balance(st.Stats().TotalRecv().Frames); err != nil {
+		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+		return 1
+	}
+	fmt.Printf("node %d: receive pipeline workers=%d queue=%d shard frames (dispatched/applied): %s\n",
+		node, rs.Workers, rs.QueueFrames, recvStatsLine(rs))
+	return 0
+}
+
 // runPeer runs one node of a socket mesh: it generates the shared script
 // from the seed, plays its own share over the stream transport (batching
 // writes per the policy), and prints the canonical state every process must
@@ -316,8 +374,10 @@ func schedStatsLine(ss transport.SchedStats) string {
 // joiners declared (or as a -catch-up joiner itself) it runs the snapshot
 // protocol: early peers serve checkpoint-plus-suffix responses and compact
 // their logs every snapEvery applied frames; the joiner installs the first
-// response before playing its share.
-func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool) int {
+// response before playing its share. With recvWorkers > 0 the receive side
+// runs as the parallel pipeline (the single object pins to one shard, so
+// delivery order is unchanged) instead of the interleaved Step calls.
+func runPeer(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool, recvWorkers int) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -334,6 +394,9 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 	sopts := []transport.StreamOption{transport.WithRecvTimeout(30 * time.Second), transport.WithBatching(policy)}
 	if len(schedPol.Weights) > 0 || len(schedPol.MaxDelay) > 0 {
 		sopts = append(sopts, transport.WithScheduler(schedPol))
+	}
+	if recvWorkers > 0 {
+		sopts = append(sopts, transport.WithReceiver(transport.RecvPolicy{Workers: recvWorkers}))
 	}
 	switch {
 	case catchUp:
@@ -354,13 +417,36 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 	if catchUp {
 		popts = append(popts, transport.WithCatchUp(alg.DecodeState))
 	}
-	p := transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal, popts...)
+	// Pipeline mode wraps the single object in a Node demux: the object's
+	// frames carry the default object id 0, and StartReceiver owns the
+	// receive side the rest of the run.
+	var n *transport.Node
+	var p *transport.Peer
+	if recvWorkers > 0 {
+		n, err = transport.NewNode(st, nil)
+		if err == nil {
+			p, err = n.Register(0, alg.New(), alg.DecodeEffector, alg.NeedsCausal, popts...)
+		}
+		if err == nil {
+			_, err = n.StartReceiver()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+			return 1
+		}
+	} else {
+		p = transport.NewPeer(alg.New(), alg.DecodeEffector, st, alg.NeedsCausal, popts...)
+	}
 	if catchUp {
 		if err := p.CatchUp(); err != nil {
 			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
 			return 1
 		}
-		if err := p.AwaitCatchUp(60 * time.Second); err != nil {
+		await := p.AwaitCatchUp
+		if n != nil {
+			await = n.AwaitCatchUp
+		}
+		if err := await(60 * time.Second); err != nil {
 			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: catch-up: %v\n", node, err)
 			return 1
 		}
@@ -373,19 +459,31 @@ func runPeer(alg registry.Algorithm, network string, node int, addrList []string
 			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: invoke %v: %v\n", node, so.Op, err)
 			return 1
 		}
-		// Interleave receive progress so peers observe each other mid-script.
-		if _, err := p.Step(false); err != nil {
-			fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
-			return 1
+		if n == nil {
+			// Interleave receive progress so peers observe each other
+			// mid-script (the pipeline applies continuously on its own).
+			if _, err := p.Step(false); err != nil {
+				fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
+				return 1
+			}
 		}
 	}
 	if err := p.Done(); err != nil {
 		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
 		return 1
 	}
-	if err := p.RunToQuiescence(60 * time.Second); err != nil {
+	quiesce := p.RunToQuiescence
+	if n != nil {
+		quiesce = n.RunToQuiescence
+	}
+	if err := quiesce(60 * time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "crdt-sim: node %d: %v\n", node, err)
 		return 1
+	}
+	if n != nil {
+		if code := finishReceiver(node, n, st); code != 0 {
+			return code
+		}
 	}
 	fmt.Printf("node %d: quiescent over %s (issued %d, applied %d remote), φ(state) = %s\n",
 		node, network, p.Issued(), p.Applied(), alg.Abs(p.State()))
@@ -438,7 +536,7 @@ func multiManifest(alg registry.Algorithm, objects int, mixed bool) transport.Ma
 // across processes), the per-object transport-frame breakdown (whose sums
 // must balance the per-peer wire totals — checked here, not just printed),
 // and with -mixed a product state reassembled from the first two objects.
-func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool, objects int, mixed bool) int {
+func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []string, ops int, seed int64, policy transport.BatchPolicy, schedPol transport.SchedPolicy, snapEvery int, late []model.NodeID, catchUp bool, objects int, mixed bool, recvWorkers int) int {
 	if len(addrList) < 2 {
 		fmt.Fprintf(os.Stderr, "crdt-sim: -addrs lists %d address(es); a mesh needs at least 2\n", len(addrList))
 		return 2
@@ -474,6 +572,9 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 	if len(schedPol.Weights) > 0 || len(schedPol.MaxDelay) > 0 {
 		sopts = append(sopts, transport.WithScheduler(schedPol))
 	}
+	if recvWorkers > 0 {
+		sopts = append(sopts, transport.WithReceiver(transport.RecvPolicy{Workers: recvWorkers}))
+	}
 	switch {
 	case catchUp:
 		sopts = append(sopts, transport.AsLateJoiner())
@@ -501,6 +602,11 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 			return fail("%v", err)
 		}
 	}
+	if recvWorkers > 0 {
+		if _, err := n.StartReceiver(); err != nil {
+			return fail("%v", err)
+		}
+	}
 	if catchUp {
 		if err := n.CatchUp(); err != nil {
 			return fail("%v", err)
@@ -524,8 +630,10 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 			if _, err := p.Invoke(sop.Op); err != nil && !errors.Is(err, crdt.ErrAssume) {
 				return fail("object %d: invoke %v: %v", spec.ID, sop.Op, err)
 			}
-			if _, err := n.Step(false); err != nil {
-				return fail("%v", err)
+			if recvWorkers == 0 {
+				if _, err := n.Step(false); err != nil {
+					return fail("%v", err)
+				}
 			}
 		}
 	}
@@ -537,6 +645,11 @@ func runPeerMulti(alg registry.Algorithm, network string, node int, addrList []s
 	}
 	if err := n.RunToQuiescence(60 * time.Second); err != nil {
 		return fail("%v", err)
+	}
+	if recvWorkers > 0 {
+		if code := finishReceiver(node, n, st); code != 0 {
+			return code
+		}
 	}
 	for oi, spec := range man {
 		p, _ := n.Peer(spec.ID)

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -133,13 +134,36 @@ func Worst(rows []Row) []Row {
 	return out
 }
 
-// Regression is one benchmark case whose ns/op worsened past the tolerance
-// against a baseline.
+// Tolerance bounds the allowed per-metric growth over the baseline. Each
+// field is fractional (0.25 = fail beyond +25%); a negative value disables
+// that metric's gate entirely.
+type Tolerance struct {
+	// NsPerOp gates the time metric.
+	NsPerOp float64
+	// AllocsPerOp gates allocs/op with a one-alloc absolute grace on top of
+	// the fraction: testing reports the metric floor-rounded, so a baseline
+	// sitting just under an integer boundary must not flag a rounding flip.
+	AllocsPerOp float64
+	// BytesPerOp gates B/op with a 64-byte absolute grace on top of the
+	// fraction, absorbing pool-warmup jitter on near-zero rows.
+	BytesPerOp float64
+}
+
+// NsOnly is the legacy gate shape: ns/op at the given tolerance, memory
+// metrics ungated.
+func NsOnly(tolerance float64) Tolerance {
+	return Tolerance{NsPerOp: tolerance, AllocsPerOp: -1, BytesPerOp: -1}
+}
+
+// Regression is one benchmark case where a metric worsened past its
+// tolerance against a baseline.
 type Regression struct {
 	Group, Case string
-	// BaseNs and CurNs are the baseline and current ns/op; Ratio is
-	// CurNs/BaseNs (> 1+tolerance to count as a regression).
-	BaseNs, CurNs, Ratio float64
+	// Metric names what regressed: "ns/op", "allocs/op", or "B/op".
+	Metric string
+	// Base and Cur are the baseline and current values of Metric; Ratio is
+	// Cur/Base (+Inf when a zero baseline grew).
+	Base, Cur, Ratio float64
 }
 
 func (r Regression) String() string {
@@ -147,29 +171,53 @@ func (r Regression) String() string {
 	if r.Case != "" {
 		name += "/" + r.Case
 	}
-	return fmt.Sprintf("%s: %s -> %s (%.2fx)", name, Duration(r.BaseNs), Duration(r.CurNs), r.Ratio)
+	if r.Metric == "" || r.Metric == "ns/op" {
+		return fmt.Sprintf("%s: %s -> %s (%.2fx)", name, Duration(r.Base), Duration(r.Cur), r.Ratio)
+	}
+	return fmt.Sprintf("%s: %.0f -> %.0f %s (%.2fx)", name, r.Base, r.Cur, r.Metric, r.Ratio)
 }
 
-// Compare gates cur against base: it returns the cases present in both whose
-// ns/op grew by more than tolerance (0.25 = fail beyond +25%). Cases only in
-// one input are ignored — a renamed or new benchmark must not trip the gate —
-// so callers should separately ensure cur is non-empty.
-func Compare(cur, base []Row, tolerance float64) []Regression {
+// Compare gates cur against base, one Regression per metric that grew past
+// its tolerance (ns/op first for a given case). Cases only in one input are
+// ignored — a renamed or new benchmark must not trip the gate — so callers
+// should separately ensure cur is non-empty. Integer metrics (allocs/op,
+// B/op) gate against a zero baseline too: a zero-alloc case must stay
+// zero-alloc, modulo the absolute graces documented on Tolerance.
+func Compare(cur, base []Row, tol Tolerance) []Regression {
 	baseline := make(map[string]Row, len(base))
 	for _, r := range base {
 		baseline[r.Group+"/"+r.Case] = r
 	}
+	ratio := func(cur, base float64) float64 {
+		if base <= 0 {
+			return math.Inf(1)
+		}
+		return cur / base
+	}
 	var out []Regression
 	for _, r := range cur {
 		b, ok := baseline[r.Group+"/"+r.Case]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		ratio := r.NsPerOp / b.NsPerOp
-		if ratio > 1+tolerance {
+		if tol.NsPerOp >= 0 && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tol.NsPerOp) {
 			out = append(out, Regression{
-				Group: r.Group, Case: r.Case,
-				BaseNs: b.NsPerOp, CurNs: r.NsPerOp, Ratio: ratio,
+				Group: r.Group, Case: r.Case, Metric: "ns/op",
+				Base: b.NsPerOp, Cur: r.NsPerOp, Ratio: r.NsPerOp / b.NsPerOp,
+			})
+		}
+		if tol.AllocsPerOp >= 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol.AllocsPerOp)+1 {
+			out = append(out, Regression{
+				Group: r.Group, Case: r.Case, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Cur: float64(r.AllocsPerOp),
+				Ratio: ratio(float64(r.AllocsPerOp), float64(b.AllocsPerOp)),
+			})
+		}
+		if tol.BytesPerOp >= 0 && float64(r.BytesPerOp) > float64(b.BytesPerOp)*(1+tol.BytesPerOp)+64 {
+			out = append(out, Regression{
+				Group: r.Group, Case: r.Case, Metric: "B/op",
+				Base: float64(b.BytesPerOp), Cur: float64(r.BytesPerOp),
+				Ratio: ratio(float64(r.BytesPerOp), float64(b.BytesPerOp)),
 			})
 		}
 	}

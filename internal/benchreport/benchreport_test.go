@@ -96,12 +96,12 @@ func TestCompare(t *testing.T) {
 		{Group: "StreamThroughput", Case: "unix/batch=1/payload=64", NsPerOp: 400}, // improvement
 		{Group: "StreamThroughput", Case: "unix/batch=8/payload=64", NsPerOp: 9e9}, // new case: ignored
 	}
-	regs := Compare(cur, base, 0.25)
+	regs := Compare(cur, base, NsOnly(0.25))
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the +40%% case", regs)
 	}
 	r := regs[0]
-	if r.Case != "tcp/batch=8/payload=64" || r.BaseNs != 100 || r.CurNs != 140 {
+	if r.Case != "tcp/batch=8/payload=64" || r.Metric != "ns/op" || r.Base != 100 || r.Cur != 140 {
 		t.Fatalf("regression = %+v", r)
 	}
 	if r.Ratio < 1.39 || r.Ratio > 1.41 {
@@ -110,8 +110,42 @@ func TestCompare(t *testing.T) {
 	if s := r.String(); !strings.Contains(s, "tcp/batch=8/payload=64") || !strings.Contains(s, "1.40x") {
 		t.Fatalf("rendering = %q", s)
 	}
-	if regs := Compare(cur, base, 0.5); len(regs) != 0 {
+	if regs := Compare(cur, base, NsOnly(0.5)); len(regs) != 0 {
 		t.Fatalf("tolerance 0.5 still flagged %+v", regs)
+	}
+}
+
+func TestCompareMemoryMetrics(t *testing.T) {
+	base := []Row{
+		{Group: "G", Case: "pooled", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 100},
+		{Group: "G", Case: "steady", NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+		{Group: "G", Case: "rounding", NsPerOp: 100, AllocsPerOp: 4, BytesPerOp: 400},
+	}
+	cur := []Row{
+		// A zero-alloc case growing real allocations must flag even though
+		// the relative tolerance is meaningless at base 0.
+		{Group: "G", Case: "pooled", NsPerOp: 100, AllocsPerOp: 6, BytesPerOp: 120},
+		// +100% allocs and +100% bytes: past a 34% tolerance.
+		{Group: "G", Case: "steady", NsPerOp: 100, AllocsPerOp: 20, BytesPerOp: 2000},
+		// One extra alloc and a few bytes: inside the absolute graces.
+		{Group: "G", Case: "rounding", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 430},
+	}
+	tol := Tolerance{NsPerOp: 0.25, AllocsPerOp: 0.34, BytesPerOp: 0.34}
+	regs := Compare(cur, base, tol)
+	var got []string
+	for _, r := range regs {
+		got = append(got, r.Case+" "+r.Metric)
+	}
+	want := []string{"pooled allocs/op", "steady allocs/op", "steady B/op"}
+	if strings.Join(got, ", ") != strings.Join(want, ", ") {
+		t.Fatalf("regressions = %v, want %v", got, want)
+	}
+	if !strings.Contains(regs[1].String(), "allocs/op") {
+		t.Fatalf("rendering lost the metric: %q", regs[1].String())
+	}
+	// Negative tolerances disable the memory gates outright.
+	if regs := Compare(cur, base, NsOnly(0.25)); len(regs) != 0 {
+		t.Fatalf("NsOnly still flagged memory growth: %+v", regs)
 	}
 }
 

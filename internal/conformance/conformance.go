@@ -872,20 +872,27 @@ func socketSnapshotChecks(alg registry.Algorithm, cfg Config) error {
 // objects of mixed algorithms — the algorithm under test, a second standalone
 // algorithm, and two components a product object reassembles at read time —
 // share one transport endpoint per node through the transport.Node demux, on
-// a three-node mesh. The item runs twice: over write-batching Mem endpoints
-// with a different flush policy per node, and over a live unix-socket mesh
-// whose third peer is a late joiner that snapshot-catches-up on every object
-// through the one shared socket pair.
+// a three-node mesh. The item runs over write-batching Mem endpoints with a
+// different flush policy per node, then three times over a live unix-socket
+// mesh whose third peer is a late joiner that snapshot-catches-up on every
+// object through the one shared socket pair: with the legacy pull loop, with
+// the receive pipeline on a single apply shard, and with the pipeline on
+// four shards applying distinct objects concurrently. All three socket legs
+// must converge to byte-identical canonical states — object sharding
+// reorders apply across objects only, never within one, so the quiescent
+// states cannot differ.
 //
-// Both legs require byte-identical per-object canonical states on every
+// Every leg requires byte-identical per-object canonical states on every
 // node, the read-time product reassembled from its independently replicated
 // components byte-equal everywhere, and the stats balance invariant: the
 // per-object frame counters sum exactly to the per-peer wire totals, because
-// one helper updates both views of the same frame. The socket leg
-// additionally requires exactly one connection per process pair (objects
+// one helper updates both views of the same frame. The socket legs
+// additionally require exactly one connection per process pair (objects
 // multiply the traffic, not the sockets), a per-object snapshot install for
-// the joiner (no fallback), and — when both early peers issued frames for an
-// object — a compacted broadcast log for that object on both of them.
+// the joiner (no fallback), a balanced receive-pipeline ledger on every
+// pipelined node (received == dispatched == applied), and — when both early
+// peers issued frames for an object — a compacted broadcast log for that
+// object on both of them.
 func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 	if alg.DecodeState == nil {
 		return fmt.Errorf("algorithm bundle registers no state decoder")
@@ -1034,12 +1041,15 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 		return nil
 	}
 
-	// Leg 2: live unix-socket mesh with a late joiner catching up on every
-	// object over the one shared socket pair per process pair.
-	unixLeg := func() error {
+	// Legs 2-4: live unix-socket mesh with a late joiner catching up on every
+	// object over the one shared socket pair per process pair. rp selects the
+	// receive side: the zero policy is the legacy pull loop, Workers >= 1 the
+	// parallel pipeline. Returns the per-node per-object canonical states so
+	// the pipeline legs can be checked byte-identical against the legacy one.
+	unixLeg := func(rp transport.RecvPolicy) ([][][]byte, error) {
 		dir, err := os.MkdirTemp("", "crdt-multiobj-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(dir)
 		addrs := make([]string, nodes)
@@ -1066,14 +1076,40 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 			wire[id] = st.Stats()
 			conns[id] = len(st.ConnectedPeers())
 		}
+		// checkPipeline closes the endpoint (idempotent — the deferred Close
+		// becomes a no-op), waits for the pump to drain the frame queue and
+		// stop, and only then audits the ledger: every frame the wire counted
+		// received must have been dispatched to exactly one shard and applied.
+		// Sampling before the pipeline stops would race in-flight frames.
+		checkPipeline := func(n *transport.Node, st *transport.Stream) error {
+			r := n.Receiver()
+			if r == nil {
+				return nil
+			}
+			st.Close()
+			select {
+			case <-r.Done():
+			case <-time.After(10 * time.Second):
+				return errors.New("receive pipeline did not stop after Close")
+			}
+			if err := r.Err(); err != nil {
+				return fmt.Errorf("receive pipeline: %w", err)
+			}
+			return r.Stats().Balance(st.Stats().TotalRecv().Frames)
+		}
 		var wg sync.WaitGroup
 		early := func(id model.NodeID) {
 			defer wg.Done()
 			reported := false
 			err := func() error {
-				st, err := transport.Listen(id, addrs,
-					transport.WithRecvTimeout(5*time.Second), transport.WithLateJoiners(joiner),
-					transport.WithManifest(man), transport.WithBatching(transport.BatchPolicy{MaxFrames: 4}))
+				sopts := []transport.StreamOption{
+					transport.WithRecvTimeout(5 * time.Second), transport.WithLateJoiners(joiner),
+					transport.WithManifest(man), transport.WithBatching(transport.BatchPolicy{MaxFrames: 4}),
+				}
+				if rp.Workers > 0 {
+					sopts = append(sopts, transport.WithReceiver(rp))
+				}
+				st, err := transport.Listen(id, addrs, sopts...)
 				if err != nil {
 					return err
 				}
@@ -1086,6 +1122,11 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 					return []transport.PeerOption{transport.WithSnapshotPolicy(transport.SnapshotPolicy{Every: 3})}
 				}); err != nil {
 					return err
+				}
+				if rp.Workers > 0 {
+					if _, err := n.StartReceiver(); err != nil {
+						return err
+					}
 				}
 				for oi, ospec := range man {
 					for _, so := range scripts[oi] {
@@ -1106,24 +1147,34 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 				}
 				// Hold the join until every object has the other early peer's
 				// Done: each object's final pre-join compaction has run then.
-				for {
-					pending := false
+				// With the pipeline the shards apply in the background, so wait
+				// on the predicate; without it, pull frames ourselves.
+				doneEverywhere := func() bool {
 					for _, obj := range n.Objects() {
 						p, _ := n.Peer(obj)
 						if p.DonePeers() < 1 {
-							pending = true
+							return false
 						}
 					}
-					if !pending {
-						break
-					}
-					if _, err := n.Step(true); err != nil {
+					return true
+				}
+				if n.Receiver() != nil {
+					if err := n.Await(10*time.Second, doneEverywhere); err != nil {
 						return err
+					}
+				} else {
+					for !doneEverywhere() {
+						if _, err := n.Step(true); err != nil {
+							return err
+						}
 					}
 				}
 				reported = true
 				ready <- nil
 				if err := n.RunToQuiescence(10 * time.Second); err != nil {
+					return err
+				}
+				if err := checkPipeline(n, st); err != nil {
 					return err
 				}
 				record(id, st, n)
@@ -1148,9 +1199,14 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 						return fmt.Errorf("early peer failed before the join: %w", err)
 					}
 				}
-				st, err := transport.Listen(joiner, addrs,
-					transport.WithRecvTimeout(5*time.Second), transport.AsLateJoiner(),
-					transport.WithManifest(man))
+				sopts := []transport.StreamOption{
+					transport.WithRecvTimeout(5 * time.Second), transport.AsLateJoiner(),
+					transport.WithManifest(man),
+				}
+				if rp.Workers > 0 {
+					sopts = append(sopts, transport.WithReceiver(rp))
+				}
+				st, err := transport.Listen(joiner, addrs, sopts...)
 				if err != nil {
 					return err
 				}
@@ -1163,6 +1219,11 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 					return []transport.PeerOption{transport.WithCatchUp(algs[oi].DecodeState)}
 				}); err != nil {
 					return err
+				}
+				if rp.Workers > 0 {
+					if _, err := n.StartReceiver(); err != nil {
+						return err
+					}
 				}
 				if err := n.CatchUp(); err != nil {
 					return err
@@ -1190,6 +1251,9 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 				if err := n.RunToQuiescence(10 * time.Second); err != nil {
 					return err
 				}
+				if err := checkPipeline(n, st); err != nil {
+					return err
+				}
 				record(joiner, st, n)
 				return nil
 			}()
@@ -1197,42 +1261,60 @@ func multiObjectChecks(alg registry.Algorithm, cfg Config) error {
 		wg.Wait()
 		for id, err := range errs {
 			if err != nil {
-				return fmt.Errorf("peer %d: %w", id, err)
+				return nil, fmt.Errorf("peer %d: %w", id, err)
 			}
 		}
 		if err := checkConverged(states); err != nil {
-			return err
+			return nil, err
 		}
 		for id := 0; id < nodes; id++ {
 			if conns[id] != nodes-1 {
-				return fmt.Errorf("node %d holds %d connections for %d peers — objects must share one socket pair per process pair",
+				return nil, fmt.Errorf("node %d holds %d connections for %d peers — objects must share one socket pair per process pair",
 					id, conns[id], nodes-1)
 			}
 			if err := checkBalance(id, wire[id]); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		for oi, ospec := range man {
 			js := snaps[joiner][oi]
 			if !js.Installed || js.FellBack {
-				return fmt.Errorf("object %d (%s): joiner never installed a snapshot response: %+v", ospec.ID, ospec.Kind, js)
+				return nil, fmt.Errorf("object %d (%s): joiner never installed a snapshot response: %+v", ospec.ID, ospec.Kind, js)
 			}
 			if issued[0][oi] > 0 && issued[1][oi] > 0 {
 				for id := 0; id < nodes-1; id++ {
 					if es := snaps[id][oi]; es.Checkpoints == 0 || es.LogTruncated == 0 {
-						return fmt.Errorf("object %d (%s): early peer %d never compacted its log: %+v", ospec.ID, ospec.Kind, id, es)
+						return nil, fmt.Errorf("object %d (%s): early peer %d never compacted its log: %+v", ospec.ID, ospec.Kind, id, es)
 					}
 				}
 			}
 		}
-		return nil
+		return states, nil
 	}
 
 	if err := memLeg(); err != nil {
 		return fmt.Errorf("mem leg: %w", err)
 	}
-	if err := unixLeg(); err != nil {
-		return fmt.Errorf("unix leg: %w", err)
+	legacy, err := unixLeg(transport.RecvPolicy{})
+	if err != nil {
+		return fmt.Errorf("unix leg (legacy pull loop): %w", err)
+	}
+	// The pipeline legs rerun the same scripts; concurrency across objects
+	// must not change any object's outcome, so every canonical state has to
+	// match the legacy leg's byte for byte.
+	for _, workers := range []int{1, 4} {
+		piped, err := unixLeg(transport.RecvPolicy{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("unix leg (pipeline workers=%d): %w", workers, err)
+		}
+		for id := range piped {
+			for oi, ospec := range man {
+				if !bytes.Equal(piped[id][oi], legacy[id][oi]) {
+					return fmt.Errorf("unix leg (pipeline workers=%d): node %d object %d (%s) canonical state diverges from the legacy pull-loop leg",
+						workers, id, ospec.ID, ospec.Kind)
+				}
+			}
+		}
 	}
 	return nil
 }

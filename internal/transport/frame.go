@@ -91,6 +91,19 @@ func Decode(b []byte) (Frame, error) {
 	return f, nil
 }
 
+// Retain returns a copy of the frame whose payload owns its bytes. Decode
+// aliases the payload into the buffer it parsed — which may be a pooled
+// receive buffer reclaimed once the frame has been handled — so any code that
+// stores a received frame past its handler call (the hold-back map, the
+// broadcast log) must retain it first. Deps is already freshly allocated by
+// Decode and is never mutated, so only the payload needs the copy.
+func (f Frame) Retain() Frame {
+	if len(f.Payload) > 0 {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
+	return f
+}
+
 // EncodeWire renders the frame in its on-the-wire form: the inner encoding
 // wrapped in the checksummed codec frame envelope, so any bit flipped in
 // transit fails DecodeWire instead of reaching a replica.

@@ -286,10 +286,25 @@ func (m *Mem) BatchedEndpoint(id model.NodeID, p BatchPolicy) Transport {
 // apply: pending frames wait for a cap or an explicit Flush. The zero
 // SchedPolicy keeps the shared arrival-order drain.
 func (m *Mem) SchedEndpoint(id model.NodeID, p BatchPolicy, sp SchedPolicy) Transport {
+	return m.RecvEndpoint(id, p, sp, RecvPolicy{})
+}
+
+// RecvEndpoint returns node id's scheduled view with a receive pipeline
+// policy on top. Mem stays deterministic by construction: whatever Workers
+// asks for, the policy clamps to a single apply shard, so a Receiver over the
+// endpoint applies frames in the virtual clock's deterministic (arrival tick,
+// object, mid) order and reruns stay byte-identical. Mem endpoints are not
+// goroutine-safe — drive the phases sequentially (broadcast, then let the
+// pipeline drain) rather than concurrently.
+func (m *Mem) RecvEndpoint(id model.NodeID, p BatchPolicy, sp SchedPolicy, rp RecvPolicy) Transport {
 	if int(id) < 0 || int(id) >= m.n {
 		panic(fmt.Sprintf("transport: no such node %s", id))
 	}
-	e := &memEndpoint{m: m, self: id, policy: p.normalized(), sq: newSched(sp, false)}
+	rp = rp.normalized()
+	if rp.enabled() {
+		rp.Workers = 1 // one deterministic shard, whatever was asked
+	}
+	e := &memEndpoint{m: m, self: id, policy: p.normalized(), sq: newSched(sp, false), recvPol: rp}
 	e.stats.Sent = make([]PeerIO, m.n)
 	e.stats.Recv = make([]PeerIO, m.n)
 	e.stats.Sched.Enabled = e.sq.drr
@@ -300,10 +315,20 @@ type memEndpoint struct {
 	m    *Mem
 	self model.NodeID
 
-	policy BatchPolicy
-	sq     *sched
-	stats  Stats
+	policy  BatchPolicy
+	sq      *sched
+	recvPol RecvPolicy
+	stats   Stats
 }
+
+// recvPolicy exposes the installed pipeline policy (the recvPolicied hook
+// Node.StartReceiver reads). Always single-shard on Mem.
+func (e *memEndpoint) recvPolicy() RecvPolicy { return e.recvPol }
+
+// serialRecv marks Mem endpoints as single-shard for NewReceiver: Mem is
+// deterministic by construction and not goroutine-safe, so the pipeline
+// applies on one shard whatever Workers asks for.
+func (e *memEndpoint) serialRecv() {}
 
 func (e *memEndpoint) Self() model.NodeID { return e.self }
 func (e *memEndpoint) N() int             { return e.m.n }

@@ -28,6 +28,12 @@ type Node struct {
 	man   Manifest
 	peers map[ObjID]*Peer
 	order []ObjID
+
+	// pipe, once StartReceiver has run, owns the endpoint's receive side:
+	// inbound frames are dispatched to per-object apply shards instead of
+	// being pulled through Step. The peers map is frozen from that point
+	// (Register refuses), so the shard workers read it without locking.
+	pipe *Receiver
 }
 
 // NewNode wraps one Transport endpoint in an object demux governed by man.
@@ -59,6 +65,9 @@ func (n *Node) Transport() Transport { return n.t }
 // the single-object degenerate case) and not yet registered. The peer is
 // built with WithObjectID(id) plus opts, exactly as NewPeer would.
 func (n *Node) Register(id ObjID, obj crdt.Object, dec crdt.EffectorDecoder, causal bool, opts ...PeerOption) (*Peer, error) {
+	if n.pipe != nil {
+		return nil, fmt.Errorf("transport: cannot register object %d after the receiver started", id)
+	}
 	if len(n.man) > 0 {
 		if _, ok := n.man.Lookup(id); !ok {
 			return nil, fmt.Errorf("transport: object %d is not in the manifest (%s)", id, n.man)
@@ -96,10 +105,41 @@ func (n *Node) route(f Frame) error {
 	return p.Handle(f)
 }
 
+// StartReceiver starts the parallel receive pipeline over the shared
+// endpoint: inbound frames dispatch to per-object apply shards under the
+// endpoint's RecvPolicy (WithReceiver on streams, Mem.RecvEndpoint — where
+// the policy clamps to one deterministic shard). Register every object first;
+// afterwards the pipeline owns the receive side (Step refuses) and the
+// Await/AwaitCatchUp/RunToQuiescence loops wait on applied frames instead of
+// pumping. On a Mem endpoint start the receiver only once local invoking is
+// done — Mem endpoints are not goroutine-safe, and the single shard then
+// applies in the virtual clock's deterministic order.
+func (n *Node) StartReceiver() (*Receiver, error) {
+	if n.pipe != nil {
+		return nil, fmt.Errorf("transport: receiver already started")
+	}
+	rp, ok := n.t.(recvPolicied)
+	if !ok || !rp.recvPolicy().enabled() {
+		return nil, fmt.Errorf("transport: endpoint has no receive pipeline policy (WithReceiver on streams, Mem.RecvEndpoint)")
+	}
+	if len(n.peers) == 0 {
+		return nil, fmt.Errorf("transport: register every object before starting the receiver")
+	}
+	n.pipe = NewReceiver(n.t, rp.recvPolicy(), n.route)
+	return n.pipe, nil
+}
+
+// Receiver returns the running pipeline, nil before StartReceiver.
+func (n *Node) Receiver() *Receiver { return n.pipe }
+
 // Step receives one frame from the shared endpoint and routes it. It reports
 // whether a frame was processed; with wait=true it blocks until one arrives
-// or the endpoint's receive deadline passes.
+// or the endpoint's receive deadline passes. With the receive pipeline
+// started, Step refuses — the dispatcher owns the receive side.
 func (n *Node) Step(wait bool) (bool, error) {
+	if n.pipe != nil {
+		return false, fmt.Errorf("transport: Step on a node whose receive side is owned by the pipeline (StartReceiver)")
+	}
 	f, ok, err := n.t.Recv(wait)
 	if err != nil || !ok {
 		return false, err
@@ -131,28 +171,42 @@ func (n *Node) CatchUp() error {
 // resolved or the deadline passes. Responses for different objects arrive
 // interleaved with live traffic; routing handles both.
 func (n *Node) AwaitCatchUp(deadline time.Duration) error {
-	limit := time.Now().Add(deadline)
-	for {
-		// Collect the still-pending objects in registration order, so a
-		// timeout names exactly which catch-ups stalled (not just how many).
-		var stuck []ObjID
+	// Collect the still-pending objects in registration order, so a
+	// timeout names exactly which catch-ups stalled (not just how many).
+	stuck := func() []ObjID {
+		var out []ObjID
 		for _, id := range n.order {
-			if p := n.peers[id]; p.requested && !p.CaughtUp() {
-				stuck = append(stuck, id)
+			if n.peers[id].awaitingSnapshot() {
+				out = append(out, id)
 			}
 		}
-		if len(stuck) == 0 {
+		return out
+	}
+	if n.pipe != nil {
+		return n.pipe.await(deadline,
+			func() bool { return len(stuck()) == 0 },
+			func() error {
+				return fmt.Errorf("transport: %w: object(s) %v still awaiting a snapshot response after %s", ErrTimeout, stuck(), deadline)
+			},
+			func() error {
+				return fmt.Errorf("transport: network drained while object(s) %v awaited snapshot responses", stuck())
+			})
+	}
+	limit := time.Now().Add(deadline)
+	for {
+		pending := stuck()
+		if len(pending) == 0 {
 			return nil
 		}
 		if time.Now().After(limit) {
-			return fmt.Errorf("transport: %w: object(s) %v still awaiting a snapshot response after %s", ErrTimeout, stuck, deadline)
+			return fmt.Errorf("transport: %w: object(s) %v still awaiting a snapshot response after %s", ErrTimeout, pending, deadline)
 		}
 		ok, err := n.Step(true)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("transport: network drained while object(s) %v awaited snapshot responses", stuck)
+			return fmt.Errorf("transport: network drained while object(s) %v awaited snapshot responses", pending)
 		}
 	}
 }
@@ -175,6 +229,16 @@ func (n *Node) RunToQuiescence(deadline time.Duration) error {
 	if err := n.Flush(); err != nil {
 		return err
 	}
+	if n.pipe != nil {
+		return n.pipe.await(deadline, n.Quiesced,
+			func() error {
+				return fmt.Errorf("transport: %w: %d of %d objects not quiescent after %s",
+					ErrTimeout, n.unquiesced(), len(n.peers), deadline)
+			},
+			func() error {
+				return fmt.Errorf("transport: network drained but %d of %d objects not quiescent", n.unquiesced(), len(n.peers))
+			})
+	}
 	limit := time.Now().Add(deadline)
 	for !n.Quiesced() {
 		if time.Now().After(limit) {
@@ -187,6 +251,36 @@ func (n *Node) RunToQuiescence(deadline time.Duration) error {
 		}
 		if !ok {
 			return fmt.Errorf("transport: network drained but %d of %d objects not quiescent", n.unquiesced(), len(n.peers))
+		}
+	}
+	return nil
+}
+
+// Await blocks until pred holds, whatever owns the receive side: with the
+// pipeline started it waits on applied frames, otherwise it pumps Step like
+// the other loops. Use it for mesh-level conditions the built-in loops do not
+// cover (a hold-open barrier waiting for a late joiner's first frames, say).
+func (n *Node) Await(deadline time.Duration, pred func() bool) error {
+	onTimeout := func() error {
+		return fmt.Errorf("transport: %w: awaited condition not met after %s", ErrTimeout, deadline)
+	}
+	onDrain := func() error {
+		return fmt.Errorf("transport: network drained before the awaited condition was met")
+	}
+	if n.pipe != nil {
+		return n.pipe.await(deadline, pred, onTimeout, onDrain)
+	}
+	limit := time.Now().Add(deadline)
+	for !pred() {
+		if time.Now().After(limit) {
+			return onTimeout()
+		}
+		ok, err := n.Step(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return onDrain()
 		}
 	}
 	return nil

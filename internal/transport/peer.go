@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -25,6 +26,14 @@ import (
 // mid order is consistent with happens-before — the same invariant the
 // simulator's centrally allocated mids provide.
 type Peer struct {
+	// mu serializes every access to the replica state below. A single-threaded
+	// pull loop never contends on it; the receive pipeline needs it because an
+	// apply-shard worker handles this object's frames while the owning
+	// goroutine concurrently invokes operations and reads progress. The lock
+	// order is Peer.mu before the transport's own locks (Invoke broadcasts,
+	// serveSnapshot unicasts, both while holding mu); the transport never
+	// calls back into Peer, so the order cannot invert.
+	mu     sync.Mutex
 	t      Transport
 	obj    crdt.Object
 	dec    crdt.EffectorDecoder
@@ -127,20 +136,40 @@ func NewPeer(obj crdt.Object, dec crdt.EffectorDecoder, t Transport, causal bool
 }
 
 // State returns the current replica state.
-func (p *Peer) State() crdt.State { return p.state }
+func (p *Peer) State() crdt.State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
 
 // CanonicalState returns the replica state's canonical binary encoding —
 // the byte-identical form converged replicas agree on.
-func (p *Peer) CanonicalState() []byte { return p.state.AppendBinary(nil) }
+func (p *Peer) CanonicalState() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state.AppendBinary(nil)
+}
 
 // Issued returns the number of effectful operations this peer broadcast.
-func (p *Peer) Issued() int { return p.issued }
+func (p *Peer) Issued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.issued
+}
 
 // Skipped returns the number of operations rejected by their precondition.
-func (p *Peer) Skipped() int { return p.skipped }
+func (p *Peer) Skipped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.skipped
+}
 
 // Applied returns the number of remote effector frames applied.
-func (p *Peer) Applied() int { return p.remote }
+func (p *Peer) Applied() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remote
+}
 
 // ObjectID returns the object this replica is scoped to (0 for a
 // single-object group).
@@ -165,6 +194,8 @@ func (p *Peer) observe(mid model.MsgID) {
 // (identity effectors are not broadcast). It returns crdt.ErrAssume
 // unchanged when the precondition fails, leaving the replica untouched.
 func (p *Peer) Invoke(op model.Op) (model.Value, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.syncing {
 		return model.Nil(), fmt.Errorf("transport: catch-up in progress: await the snapshot before invoking")
 	}
@@ -227,6 +258,8 @@ func (p *Peer) visible() []model.MsgID {
 // transport: nothing of this peer's history may linger in a pending batch
 // once completion is announced.
 func (p *Peer) Done() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.doneSent = true
 	if err := p.t.Broadcast(Frame{
 		Kind: KindDone, Obj: p.objID, MID: p.nextMID(), From: p.t.Self(),
@@ -264,6 +297,8 @@ func (p *Peer) TransportStats() (Stats, bool) {
 // already rejected bit flips), then application and a retry of any held
 // frames the new delivery unblocked.
 func (p *Peer) Handle(f Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f.Obj != p.objID {
 		return fmt.Errorf("%w: object %d frame delivered to the object %d replica", codec.ErrCorrupt, f.Obj, p.objID)
 	}
@@ -310,7 +345,10 @@ func (p *Peer) handleEffector(f Frame) error {
 		return nil // at-most-once: duplicate suppressed
 	}
 	if p.syncing || (p.causal && !p.depsMet(f)) {
-		p.held[f.MID] = f
+		// The frame is stored past this handler call, so it must own its
+		// payload bytes — in pipeline mode they alias a pooled receive buffer
+		// that is reclaimed once the handler returns.
+		p.held[f.MID] = f.Retain()
 		return nil
 	}
 	if err := p.apply(f); err != nil {
@@ -360,7 +398,9 @@ func (p *Peer) apply(f Frame) error {
 	p.applied[f.MID] = true
 	p.remote++
 	if p.snapServe {
-		p.log = append(p.log, f)
+		// The compaction log outlives the handler call: detach the payload
+		// from any pooled receive buffer it may alias.
+		p.log = append(p.log, f.Retain())
 		return p.tickCompaction()
 	}
 	return nil
@@ -424,6 +464,8 @@ func (p *Peer) Step(wait bool) (bool, error) {
 // full replay if the response is corrupt — incoming effector frames buffer
 // and Invoke refuses. Call it right after Listen, before any operation.
 func (p *Peer) CatchUp() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.decState == nil {
 		return fmt.Errorf("transport: peer was not built with WithCatchUp")
 	}
@@ -442,7 +484,26 @@ func (p *Peer) CatchUp() error {
 
 // CaughtUp reports whether a requested catch-up has resolved (a snapshot
 // installed, or the peer fell back to full replay).
-func (p *Peer) CaughtUp() bool { return p.requested && !p.syncing }
+func (p *Peer) CaughtUp() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requested && !p.syncing
+}
+
+// awaitingSnapshot reports whether a requested catch-up is still unresolved —
+// the per-object condition Node.AwaitCatchUp waits on.
+func (p *Peer) awaitingSnapshot() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requested && p.syncing
+}
+
+// syncingNow reads the syncing flag under the lock.
+func (p *Peer) syncingNow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncing
+}
 
 // AwaitCatchUp pumps the transport until the catch-up resolves or the
 // deadline passes. A corrupt first response surfaces as an error wrapping
@@ -450,7 +511,7 @@ func (p *Peer) CaughtUp() bool { return p.requested && !p.syncing }
 // to converging by full replay.
 func (p *Peer) AwaitCatchUp(deadline time.Duration) error {
 	limit := time.Now().Add(deadline)
-	for p.syncing {
+	for p.syncingNow() {
 		if time.Now().After(limit) {
 			return fmt.Errorf("transport: %w: no snapshot response after %s", ErrTimeout, deadline)
 		}
@@ -688,6 +749,8 @@ func (p *Peer) connectedPeers() []model.NodeID {
 
 // SnapshotStats returns a snapshot of the peer's state-transfer counters.
 func (p *Peer) SnapshotStats() SnapStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s := p.snapStats
 	s.LogRetained = len(p.log)
 	return s
@@ -695,16 +758,33 @@ func (p *Peer) SnapshotStats() SnapStats {
 
 // LogLen returns the number of effector frames currently retained for
 // snapshot serving (0 without WithSnapshotPolicy).
-func (p *Peer) LogLen() int { return len(p.log) }
+func (p *Peer) LogLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.log)
+}
 
 // DonePeers returns the number of peers whose completion announcement this
 // peer knows (received directly or forwarded inside a snapshot response).
-func (p *Peer) DonePeers() int { return len(p.done) }
+func (p *Peer) DonePeers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.done)
+}
+
+// progress snapshots the quiescence-relevant counters for diagnostics.
+func (p *Peer) progress() (done, applied, held int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.done), p.remote, len(p.held)
+}
 
 // Quiesced reports whether the object is stable from this peer's view:
 // every peer announced completion and every announced effectful broadcast
 // has been applied, with nothing held back.
 func (p *Peer) Quiesced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.done) != p.t.N()-1 {
 		return false
 	}
@@ -725,8 +805,9 @@ func (p *Peer) RunToQuiescence(deadline time.Duration) error {
 	limit := time.Now().Add(deadline)
 	for !p.Quiesced() {
 		if time.Now().After(limit) {
+			done, applied, held := p.progress()
 			return fmt.Errorf("transport: %w: not quiescent after %s (done %d/%d peers, applied %d, held %d)",
-				ErrTimeout, deadline, len(p.done), p.t.N()-1, p.remote, len(p.held))
+				ErrTimeout, deadline, done, p.t.N()-1, applied, held)
 		}
 		ok, err := p.Step(true)
 		if err != nil {
@@ -736,8 +817,9 @@ func (p *Peer) RunToQuiescence(deadline time.Duration) error {
 			// A blocking Recv that reports no frame without an error means
 			// the transport is drained for good (the deterministic Mem
 			// endpoint at quiescence) — waiting longer cannot help.
+			done, applied, held := p.progress()
 			return fmt.Errorf("transport: network drained but peer not quiescent (done %d/%d peers, applied %d, held %d)",
-				len(p.done), p.t.N()-1, p.remote, len(p.held))
+				done, p.t.N()-1, applied, held)
 		}
 	}
 	return nil

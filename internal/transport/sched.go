@@ -97,10 +97,13 @@ func (p SchedPolicy) delayFor(id ObjID, shared time.Duration) time.Duration {
 // schedItem is one queued broadcast awaiting a flush. The socket Stream
 // stores the encoded nested envelope (env); the in-memory endpoint stores the
 // Frame itself. wire is the item's byte cost against caps and container
-// limits, and at stamps the enqueue time when delay sampling is on.
+// limits, and at stamps the enqueue time when delay sampling is on. pool,
+// when set, is the pooled buffer env was encoded into — handed back to the
+// buffer pool once the envelope has been copied into a wire container.
 type schedItem struct {
 	obj   ObjID
 	env   []byte
+	pool  *[]byte
 	frame Frame
 	wire  int
 	at    time.Time

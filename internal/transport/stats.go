@@ -147,6 +147,20 @@ func (s *Stats) noteRecv(peer model.NodeID, batches, wireBytes int, objs []ObjID
 	}
 }
 
+// noteRecvDropped retracts frames a closing endpoint counted received but
+// never handed to the receive pipeline: they can never be dispatched, so
+// leaving them in the ledger would break the received == dispatched ==
+// applied audit (RecvStats.Balance). Batch and byte counters stay — the
+// container did cross the wire.
+func (s *Stats) noteRecvDropped(peer model.NodeID, objs []ObjID) {
+	s.Recv[peer].Frames -= len(objs)
+	for _, o := range objs {
+		io := s.Objects[o]
+		io.RecvFrames--
+		s.Objects[o] = io
+	}
+}
+
 // TotalSent sums the per-peer send counters.
 func (s Stats) TotalSent() PeerIO {
 	var t PeerIO

@@ -9,6 +9,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/codec"
@@ -52,6 +54,12 @@ type Stream struct {
 	flushTimer *time.Timer
 	timerAt    time.Time
 
+	// Reusable send-side scratch, guarded by mu like the queues: wbuf holds
+	// one batch container per write (length prefix right-aligned before the
+	// body), objScratch the per-container object list for the ledgers.
+	wbuf       []byte
+	objScratch []ObjID
+
 	// man is the object manifest this endpoint exchanges and validates
 	// during every handshake; manEnc is its canonical encoding (what
 	// actually travels and is byte-compared).
@@ -73,6 +81,19 @@ type Stream struct {
 	closed chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
+
+	// Receive pipeline (WithReceiver): when the policy is enabled the receive
+	// loops decode into pooled buffers and push zero-copy frames with release
+	// hooks onto pframes instead of copying into the legacy frames channel;
+	// Recv is then owned by the pipeline's dispatcher (recvPipe). recvWG and
+	// recvsDone implement the close-drain handshake: recvPipe keeps consuming
+	// after Close until every receive loop has exited (each having handed over
+	// or retracted its in-flight batch), so the dispatched ledger matches the
+	// wire ledger exactly and no frame is stranded in pframes.
+	recvPol   RecvPolicy
+	pframes   chan pipeFrame
+	recvWG    sync.WaitGroup
+	recvsDone chan struct{}
 
 	// hung counts peer connections that ended cleanly (EOF after all their
 	// frames were handed over): a finished peer closing its endpoint is part
@@ -129,6 +150,20 @@ func WithBatching(p BatchPolicy) StreamOption {
 func WithScheduler(p SchedPolicy) StreamOption {
 	return func(s *Stream) { s.schedPol = p.normalized() }
 }
+
+// WithReceiver installs a parallel receive pipeline policy (see RecvPolicy):
+// the receive loops decode batch containers into pooled buffers, and
+// Node.StartReceiver (or NewReceiver directly) dispatches the frames to
+// per-object apply shards. With the pipeline enabled Recv is owned by the
+// dispatcher and must not be called by anyone else. The zero policy leaves
+// the legacy pull path untouched.
+func WithReceiver(p RecvPolicy) StreamOption {
+	return func(s *Stream) { s.recvPol = p.normalized() }
+}
+
+// recvPolicy exposes the installed pipeline policy (the recvPolicied hook
+// Node.StartReceiver reads).
+func (s *Stream) recvPolicy() RecvPolicy { return s.recvPol }
 
 // WithManifest declares the object manifest of a multiplexed mesh: every
 // handshake carries the manifest's canonical encoding, and both ends require
@@ -211,6 +246,15 @@ func Listen(self model.NodeID, addrs []string, opts ...StreamOption) (*Stream, e
 	s.sq = newSched(s.schedPol, true)
 	s.stats.Sched.Enabled = s.sq.drr
 	s.deadlines = map[ObjID]time.Time{}
+	if s.recvPol.enabled() {
+		s.pframes = make(chan pipeFrame, 64)
+		s.recvsDone = make(chan struct{})
+		go func() {
+			<-s.closed
+			s.recvWG.Wait()
+			close(s.recvsDone)
+		}()
+	}
 	if err := s.man.Validate(); err != nil {
 		return nil, err
 	}
@@ -374,6 +418,7 @@ func (s *Stream) admit(peer model.NodeID, c net.Conn) bool {
 	s.conns[peer] = c
 	s.mu.Unlock()
 	s.wg.Add(1)
+	s.recvWG.Add(1)
 	go s.recvLoop(peer, c)
 	return true
 }
@@ -549,6 +594,30 @@ func (b oneByteReader) ReadByte() (byte, error) {
 // against a corrupted length prefix allocating unboundedly).
 const maxWireFrame = 16 << 20
 
+// bufPool recycles the transport's scratch buffers: broadcast envelope
+// encodings on the send side and, in pipeline mode, whole batch containers on
+// the receive side (released once every frame decoded from the container has
+// been applied). Pointers to slices, so a Get/Put cycle does not allocate a
+// slice header.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// poolGet returns a pooled buffer of length 0 and capacity ≥ n.
+func poolGet(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+// poolPut recycles bp, rebasing it onto grown so a buffer that was grown by
+// appends keeps its capacity across the pool round trip. Pass the latest
+// slice (or *bp itself when nothing grew).
+func poolPut(bp *[]byte, grown []byte) {
+	*bp = grown[:0]
+	bufPool.Put(bp)
+}
+
 // recvLoop reads batch containers from one peer connection and feeds their
 // frames into the shared channel. A nested frame rejected by its own
 // checksum is dropped and counted (FramesRejected) while the rest of the
@@ -556,6 +625,8 @@ const maxWireFrame = 16 << 20
 // connection with an error.
 func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 	defer s.wg.Done()
+	defer s.recvWG.Done()
+	pipelined := s.pframes != nil
 	br := bufio.NewReader(c)
 	for {
 		n, err := binary.ReadUvarint(br)
@@ -563,8 +634,18 @@ func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 			err = fmt.Errorf("%w: %d-byte batch container exceeds the %d cap", codec.ErrCorrupt, n, maxWireFrame)
 		}
 		var frames []Frame
+		var bp *[]byte // pooled container buffer (pipeline mode only)
 		if err == nil {
-			buf := make([]byte, n)
+			var buf []byte
+			if pipelined {
+				// Zero-copy decode: read the container into a pooled buffer and
+				// let the decoded frames alias it; the buffer goes back to the
+				// pool once every frame's apply has released it.
+				bp = poolGet(int(n))
+				buf = (*bp)[:n]
+			} else {
+				buf = make([]byte, n)
+			}
 			if _, err = io.ReadFull(br, buf); err == nil {
 				frames, err = DecodeBatch(buf)
 			}
@@ -579,12 +660,21 @@ func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 			err = nil
 		}
 		if err != nil {
+			if bp != nil {
+				poolPut(bp, *bp)
+			}
 			select {
 			case <-s.closed:
 			default:
-				if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) {
 					// The peer finished and closed its end after flushing
-					// everything: a clean hangup, not a failure.
+					// everything: a clean hangup, not a failure. A reset
+					// carries the same meaning as the EOF: the protocol only
+					// closes an endpoint after the close-flush, but a close
+					// racing our own final flush (still unread in the peer's
+					// receive buffer) turns the FIN into an RST. Frames a
+					// reset might discard were by construction not awaited —
+					// if they were, quiescence stalls and times out loudly.
 					s.hangup()
 					return
 				}
@@ -602,6 +692,35 @@ func (s *Stream) recvLoop(peer model.NodeID, c net.Conn) {
 		s.statsMu.Lock()
 		s.stats.noteRecv(peer, 1, uvarintLen(n)+int(n), objs)
 		s.statsMu.Unlock()
+		if pipelined {
+			if len(frames) == 0 {
+				poolPut(bp, *bp)
+				continue
+			}
+			// One reference per decoded frame: the container buffer is
+			// recycled when the last frame's handler releases it.
+			refs := int32(len(frames))
+			release := func() {
+				if atomic.AddInt32(&refs, -1) == 0 {
+					poolPut(bp, *bp)
+				}
+			}
+			for i, f := range frames {
+				select {
+				case s.pframes <- pipeFrame{f: f, release: release}:
+				case <-s.closed:
+					// Closing: the dispatcher keeps draining until every
+					// receive loop exits, so anything not handed over now
+					// will never be dispatched — retract it from the wire
+					// ledger (Balance audits received == dispatched).
+					s.statsMu.Lock()
+					s.stats.noteRecvDropped(peer, objs[i:])
+					s.statsMu.Unlock()
+					return
+				}
+			}
+			continue
+		}
 		for _, f := range frames {
 			select {
 			case s.frames <- f:
@@ -641,8 +760,15 @@ func (s *Stream) Broadcast(f Frame) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	env := codec.AppendFrame(nil, f.Append(nil))
-	it := schedItem{obj: f.Obj, env: env, wire: len(env)}
+	// Encode through pooled scratch: the inner encoding is transient (returned
+	// immediately), the envelope lives in the queue until its container is
+	// written, which hands the buffer back (see writeContainerLocked).
+	ip := poolGet(0)
+	inner := f.Append((*ip)[:0])
+	ep := poolGet(len(inner) + 2*binary.MaxVarintLen64)
+	env := codec.AppendFrame((*ep)[:0], inner)
+	poolPut(ip, inner)
+	it := schedItem{obj: f.Obj, env: env, pool: ep, wire: len(env)}
 	if s.sq.sample {
 		it.at = time.Now()
 	}
@@ -851,15 +977,36 @@ func (s *Stream) writeContainerLocked(items []schedItem) error {
 	for _, it := range items {
 		size += it.wire
 	}
-	body := codec.AppendUvarint(make([]byte, 0, size+2*binary.MaxVarintLen64), uint64(len(items)))
+	// Build the wire image in the reusable write buffer: MaxVarintLen64 bytes
+	// reserved up front, the container body appended after them, then the
+	// length varint right-aligned against the body — one buffer, no copy of
+	// the assembled body.
+	const pfx = binary.MaxVarintLen64
+	wb := s.wbuf
+	if need := pfx + pfx + size; cap(wb) < need {
+		wb = make([]byte, pfx, need)
+	}
+	body := codec.AppendUvarint(wb[:pfx], uint64(len(items)))
 	for _, it := range items {
 		body = append(body, it.env...)
 	}
-	buf := append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body))), body...)
-	objs := make([]ObjID, len(items))
-	for i, it := range items {
-		objs[i] = it.obj
+	for i := range items {
+		if it := &items[i]; it.pool != nil {
+			poolPut(it.pool, it.env)
+			it.pool = nil
+		}
 	}
+	var lenBuf [pfx]byte
+	ln := binary.PutUvarint(lenBuf[:], uint64(len(body)-pfx))
+	start := pfx - ln
+	copy(body[start:pfx], lenBuf[:ln])
+	buf := body[start:]
+	s.wbuf = body[:pfx]
+	objs := s.objScratch[:0]
+	for _, it := range items {
+		objs = append(objs, it.obj)
+	}
+	s.objScratch = objs[:0]
 	// Write to every healthy conn before reporting a failure: aborting on the
 	// first dead peer would silently starve the remaining ones of frames they
 	// were promised.
@@ -961,6 +1108,9 @@ func (s *Stream) Manifest() Manifest { return s.man }
 // recorded by the receive loop, and once every peer has hung up and the
 // queue is drained it reports exhaustion.
 func (s *Stream) Recv(wait bool) (Frame, bool, error) {
+	if s.pframes != nil {
+		return Frame{}, false, fmt.Errorf("transport: Recv on an endpoint whose receive side is owned by the pipeline (WithReceiver)")
+	}
 	for {
 		select {
 		case f := <-s.frames:
@@ -974,7 +1124,7 @@ func (s *Stream) Recv(wait bool) (Frame, bool, error) {
 			case f := <-s.frames:
 				return f, true, nil
 			default:
-				return Frame{}, false, fmt.Errorf("transport: every peer hung up with the frame queue drained")
+				return Frame{}, false, ErrExhausted
 			}
 		}
 		if !wait {
@@ -1000,6 +1150,74 @@ func (s *Stream) Recv(wait bool) (Frame, bool, error) {
 			return Frame{}, false, ErrClosed
 		case <-time.After(s.recvTimeout):
 			return Frame{}, false, fmt.Errorf("transport: %w after %s", ErrTimeout, s.recvTimeout)
+		}
+	}
+}
+
+// recvPipe is Recv's pipeline-mode twin (the pipeSource hook): it hands the
+// dispatcher the next zero-copy frame together with its pooled-buffer release
+// hook. Exhaustion and closure surface as the shared sentinels so the
+// dispatcher can tell a clean drain from a failure.
+func (s *Stream) recvPipe(wait bool) (Frame, func(), bool, error) {
+	for {
+		select {
+		case pf := <-s.pframes:
+			return pf.f, pf.release, true, nil
+		default:
+		}
+		if s.allHungUp() {
+			select {
+			case pf := <-s.pframes:
+				return pf.f, pf.release, true, nil
+			default:
+				return Frame{}, nil, false, ErrExhausted
+			}
+		}
+		if !wait {
+			select {
+			case pf := <-s.pframes:
+				return pf.f, pf.release, true, nil
+			case err := <-s.errs:
+				return Frame{}, nil, false, err
+			case <-s.closed:
+				return s.closeDrain()
+			default:
+				return Frame{}, nil, false, nil
+			}
+		}
+		select {
+		case pf := <-s.pframes:
+			return pf.f, pf.release, true, nil
+		case err := <-s.errs:
+			return Frame{}, nil, false, err
+		case <-s.hungCh:
+			continue // a peer hung up: re-evaluate exhaustion
+		case <-s.closed:
+			return s.closeDrain()
+		case <-time.After(s.recvTimeout):
+			return Frame{}, nil, false, fmt.Errorf("transport: %w after %s", ErrTimeout, s.recvTimeout)
+		}
+	}
+}
+
+// closeDrain is recvPipe's Close path: keep consuming so receive loops
+// blocked mid-batch can finish handing over (or retract) their frames, and
+// report ErrClosed only once every loop has exited and the queue is empty.
+// Returning on the close signal alone would race frames a loop pushed
+// between the dispatcher's last look at the queue and its own closed check,
+// stranding them counted-but-undispatched.
+func (s *Stream) closeDrain() (Frame, func(), bool, error) {
+	for {
+		select {
+		case pf := <-s.pframes:
+			return pf.f, pf.release, true, nil
+		case <-s.recvsDone:
+			select {
+			case pf := <-s.pframes:
+				return pf.f, pf.release, true, nil
+			default:
+				return Frame{}, nil, false, ErrClosed
+			}
 		}
 	}
 }

@@ -97,6 +97,9 @@ var (
 	ErrClosed = errors.New("transport: endpoint closed")
 	// ErrTimeout: a blocking Recv outwaited its deadline.
 	ErrTimeout = errors.New("transport: receive timed out")
+	// ErrExhausted: every peer hung up and the receive queue is drained — the
+	// endpoint can never produce another frame.
+	ErrExhausted = errors.New("transport: every peer hung up with the frame queue drained")
 )
 
 // Transport is one node's endpoint on the network of a replicated object.
